@@ -1,0 +1,96 @@
+package quicksand
+
+// One benchmark per experiment table. Each bench regenerates the table the
+// experiment produces (the repository's stand-in for the paper's missing
+// evaluation section) and reports its wall cost. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Use -v (or read bench_output.txt) to see the tables themselves; every
+// run is deterministic for a fixed seed.
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+)
+
+// runExperiment drives one experiment under the benchmark loop and logs
+// its table once.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *stats.Table
+	for i := 0; i < b.N; i++ {
+		tab = e.Run(1)
+	}
+	b.StopTimer()
+	b.Logf("%s: %s\nclaim — %s\n%s", e.ID, e.Title, e.Claim, tab.String())
+}
+
+// BenchmarkE1TandemDP1vsDP2 regenerates E1: per-WRITE checkpointing vs
+// log-based checkpointing (§3.2).
+func BenchmarkE1TandemDP1vsDP2(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkE2TandemFailover regenerates E2: failover aborts vs lost
+// committed work (§3.2–3.3).
+func BenchmarkE2TandemFailover(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkE3LogShipLatency regenerates E3: sync vs async commit latency
+// over distance (§4.1).
+func BenchmarkE3LogShipLatency(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkE4LogShipLoss regenerates E4: the takeover loss window vs
+// shipping lag (§4.2).
+func BenchmarkE4LogShipLoss(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5CartReconcile regenerates E5: sibling reconciliation on the
+// Dynamo cart (§6.1).
+func BenchmarkE5CartReconcile(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkE6BankClearing regenerates E6: replicated check clearing,
+// convergence, and overdraft risk (§6.2, §7.6).
+func BenchmarkE6BankClearing(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7Escrow regenerates E7: escrow vs exclusive locking (§5.3).
+func BenchmarkE7Escrow(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8Allocation regenerates E8: over-provisioning vs over-booking
+// (§7.1).
+func BenchmarkE8Allocation(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkE9Seats regenerates E9: the seat-reservation pattern vs a
+// scalper (§7.3).
+func BenchmarkE9Seats(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkE10RiskPolicy regenerates E10: the $10,000-check risk dial
+// (§5.5, §5.8).
+func BenchmarkE10RiskPolicy(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkE11Idempotence regenerates E11: retries and uniquifiers (§2.1,
+// §5.4).
+func BenchmarkE11Idempotence(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12CAPAvailability regenerates E12: 2PC vs ACID 2.0 gossip
+// under churn (§2.3, §8.2).
+func BenchmarkE12CAPAvailability(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkA1OpVsStateMerge regenerates ablation A1: operation-centric vs
+// state-merge carts (§6.4).
+func BenchmarkA1OpVsStateMerge(b *testing.B) { runExperiment(b, "A1") }
+
+// BenchmarkA2GroupCommit regenerates ablation A2: the group-commit bus
+// (§3.2).
+func BenchmarkA2GroupCommit(b *testing.B) { runExperiment(b, "A2") }
+
+// BenchmarkA3QuorumSweep regenerates ablation A3: the Dynamo R/W quorum
+// trade.
+func BenchmarkA3QuorumSweep(b *testing.B) { runExperiment(b, "A3") }
+
+// BenchmarkA4MerkleAntiEntropy regenerates ablation A4: whole-store vs
+// Merkle-tree anti-entropy transfer cost.
+func BenchmarkA4MerkleAntiEntropy(b *testing.B) { runExperiment(b, "A4") }

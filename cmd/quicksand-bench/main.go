@@ -1,0 +1,55 @@
+// Command quicksand-bench runs the full experiment suite — the derived
+// evaluation section of the Building on Quicksand reproduction — and
+// prints every table.
+//
+// Usage:
+//
+//	quicksand-bench              # run everything
+//	quicksand-bench -run E6      # one experiment
+//	quicksand-bench -list        # list experiments and claims
+//	quicksand-bench -seed 7      # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "run only the experiment with this ID (e.g. E6, A1)")
+		list = flag.Bool("list", false, "list experiments without running")
+		seed = flag.Int64("seed", 1, "deterministic seed for every experiment")
+	)
+	flag.Parse()
+
+	exps := experiment.All()
+	if *run != "" {
+		e, err := experiment.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []experiment.Experiment{e}
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	for _, e := range exps {
+		fmt.Printf("\n%s: %s\n", e.ID, e.Title)
+		fmt.Printf("claim — %s\n\n", e.Claim)
+		start := time.Now()
+		tab := e.Run(*seed)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s in %v wall time)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,145 @@
+// Package apology implements the paper's §5.7 accounting: "arguably, all
+// computing really falls into three categories: memories, guesses, and
+// apologies."
+//
+// A Ledger records what a replica remembered (operations it saw), what it
+// guessed (actions taken on local knowledge), and what it apologized for.
+// A Queue routes apologies the way §5.6 prescribes: try
+// business-specific compensation code first, and "send the problem to a
+// human" when no handler claims it.
+package apology
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/uniq"
+)
+
+// Kind classifies a ledger entry.
+type Kind int
+
+// The three categories of all computing (§5.7).
+const (
+	Memory Kind = iota // the replica saw and recorded something
+	Guess              // the replica acted on local, partial knowledge
+	Regret             // the replica discovered a guess was wrong
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Memory:
+		return "memory"
+	case Guess:
+		return "guess"
+	default:
+		return "apology"
+	}
+}
+
+// Entry is one ledger line.
+type Entry struct {
+	At   sim.Time
+	Kind Kind
+	Who  string  // replica that wrote the line
+	What string  // human-readable description
+	Ref  uniq.ID // operation or apology this line concerns
+}
+
+// Ledger is an append-only record of memories, guesses, and apologies for
+// one replica. The zero value is ready to use.
+type Ledger struct {
+	entries []Entry
+	counts  [3]int
+}
+
+// Record appends a line.
+func (l *Ledger) Record(at sim.Time, kind Kind, who, what string, ref uniq.ID) {
+	l.entries = append(l.entries, Entry{At: at, Kind: kind, Who: who, What: what, Ref: ref})
+	l.counts[kind]++
+}
+
+// Count reports how many entries of the kind exist.
+func (l *Ledger) Count(kind Kind) int { return l.counts[kind] }
+
+// Entries returns a copy of all lines, in record order.
+func (l *Ledger) Entries() []Entry { return append([]Entry(nil), l.entries...) }
+
+// Len reports the total number of lines.
+func (l *Ledger) Len() int { return len(l.entries) }
+
+// Apology is a discovered business-rule violation that someone must now
+// smooth over — "every business includes apologies" (§5.7).
+type Apology struct {
+	ID      uniq.ID // content-derived: identical violations dedupe
+	Rule    string  // which business rule was violated
+	Detail  string  // what happened
+	Key     string  // object concerned (account, SKU, ...) for handlers
+	Amount  int64   // money at stake, in cents (0 if not monetary)
+	Replica string  // replica that discovered it
+}
+
+// NewApology builds an apology whose ID is derived from rule and detail,
+// so the same violation discovered at two replicas collapses to one
+// apology.
+func NewApology(rule, detail string, amount int64, replica string) Apology {
+	return Apology{
+		ID:      uniq.ContentID([]byte(rule + "|" + detail)),
+		Rule:    rule,
+		Detail:  detail,
+		Amount:  amount,
+		Replica: replica,
+	}
+}
+
+// Handler attempts automated compensation for an apology, returning true
+// if it handled it. Handlers embody §5.6's "write some business specific
+// software to reduce the probability that a human needs to be involved."
+type Handler func(Apology) bool
+
+// Queue routes apologies to automated handlers, then to humans. The zero
+// value is not usable; construct with NewQueue.
+type Queue struct {
+	handlers  []Handler
+	seen      *uniq.Dedup
+	automated []Apology
+	human     []Apology
+}
+
+// NewQueue returns an empty queue with no handlers.
+func NewQueue() *Queue { return &Queue{seen: uniq.NewDedup()} }
+
+// AddHandler appends an automated compensation handler; handlers run in
+// registration order.
+func (q *Queue) AddHandler(h Handler) { q.handlers = append(q.handlers, h) }
+
+// Submit routes one apology. Duplicates (by ID) are dropped. It reports
+// whether the apology was newly accepted.
+func (q *Queue) Submit(a Apology) bool {
+	if !q.seen.Record(a.ID) {
+		return false
+	}
+	for _, h := range q.handlers {
+		if h(a) {
+			q.automated = append(q.automated, a)
+			return true
+		}
+	}
+	q.human = append(q.human, a)
+	return true
+}
+
+// Automated returns apologies resolved by handlers.
+func (q *Queue) Automated() []Apology { return append([]Apology(nil), q.automated...) }
+
+// Human returns apologies waiting for a person.
+func (q *Queue) Human() []Apology { return append([]Apology(nil), q.human...) }
+
+// Total reports all accepted apologies.
+func (q *Queue) Total() int { return len(q.automated) + len(q.human) }
+
+// String summarizes the queue.
+func (q *Queue) String() string {
+	return fmt.Sprintf("apologies: %d automated, %d escalated to humans", len(q.automated), len(q.human))
+}

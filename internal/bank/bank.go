@@ -1,0 +1,248 @@
+// Package bank implements the paper's Example 5 (§6.2): bank accounts and
+// ledgers on operation-centric eventual consistency.
+//
+// Checks carry check numbers — "the check numbers (combined with the
+// bank-id and account-number) provide a unique identifier" — so clearing
+// is idempotent no matter how many replicas handle the same check. Debits
+// and credits commute, so replicas clear checks independently and their
+// ledgers flow together; "replicas that have seen the same work see the
+// same result." The no-overdraft rule is enforced probabilistically: each
+// replica guesses from its local balance, and when the merged truth shows
+// a check cleared against insufficient funds, a bounce-fee compensation is
+// issued automatically — the bank's designed apology.
+//
+// Monthly statements reproduce §6.2's ledger discipline: a statement is
+// immutable once issued; an op that arrives late ("some check floating on
+// midnight of the 31st") lands in the next statement rather than mutating
+// the last one.
+package bank
+
+import (
+	"fmt"
+
+	"repro/internal/apology"
+	"repro/internal/core"
+	"repro/internal/oplog"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/uniq"
+)
+
+// Operation kinds.
+const (
+	KindDeposit   = "deposit"
+	KindClear     = "clear-check"
+	KindBounceFee = "bounce-fee"
+)
+
+// RuleName is the business rule the bank enforces probabilistically.
+const RuleName = "no-overdraft"
+
+// Uncovered records a check that cleared against insufficient funds in
+// the canonical history.
+type Uncovered struct {
+	CheckID uniq.ID
+	Account string
+	Amount  int64
+}
+
+// Accounts is the state derived from the operation ledger.
+type Accounts struct {
+	Bal       map[string]int64
+	Uncovered []Uncovered
+}
+
+// Balance returns an account's balance in cents.
+func (a *Accounts) Balance(account string) int64 { return a.Bal[account] }
+
+// App folds banking operations; it implements core.App.
+type App struct{}
+
+// Init returns empty accounts.
+func (App) Init() *Accounts { return &Accounts{Bal: make(map[string]int64)} }
+
+// Step applies one operation. Deposits and debits commute; the Uncovered
+// list depends on canonical order, which oplog fixes identically at every
+// replica.
+func (App) Step(s *Accounts, op oplog.Entry) *Accounts {
+	switch op.Kind {
+	case KindDeposit:
+		s.Bal[op.Key] += op.Arg
+	case KindClear:
+		if s.Bal[op.Key] < op.Arg {
+			s.Uncovered = append(s.Uncovered, Uncovered{CheckID: op.ID, Account: op.Key, Amount: op.Arg})
+		}
+		s.Bal[op.Key] -= op.Arg
+	case KindBounceFee:
+		s.Bal[op.Key] -= op.Arg
+	}
+	return s
+}
+
+// NoOverdraft is the probabilistically enforced business rule: "there is
+// an expressed business rule that the account balance will not drop below
+// zero ... it is a business decision on the part of the bank to allow this
+// risk."
+func NoOverdraft() core.Rule[*Accounts] {
+	return core.Rule[*Accounts]{
+		Name: RuleName,
+		Admit: func(s *Accounts, op oplog.Entry) bool {
+			if op.Kind != KindClear {
+				return true
+			}
+			return s.Bal[op.Key] >= op.Arg
+		},
+		Violated: func(s *Accounts) []core.Violation {
+			out := make([]core.Violation, 0, len(s.Uncovered))
+			for _, u := range s.Uncovered {
+				out = append(out, core.Violation{
+					Detail: fmt.Sprintf("check %s for %d¢ cleared against insufficient funds on %s", u.CheckID, u.Amount, u.Account),
+					Key:    u.Account,
+					Amount: u.Amount,
+				})
+			}
+			return out
+		},
+	}
+}
+
+// Statement is one immutable monthly account statement.
+type Statement struct {
+	Account  string
+	Seq      int
+	Opening  int64
+	Closing  int64
+	Lines    []oplog.Entry
+	CutoffAt sim.Time
+	IssuedAt sim.Time
+}
+
+// Bank wires a core.Cluster to banking semantics: check numbering,
+// automatic bounce-fee compensation, and per-replica statement books.
+type Bank struct {
+	C   *core.Cluster[*Accounts]
+	s   *sim.Sim
+	fee int64
+
+	checkSeq map[string]int
+	// statement bookkeeping, per replica then per account
+	stmts  []map[string][]Statement
+	onStmt []map[uniq.ID]bool
+
+	Bounced stats.Counter // bounce fees issued
+}
+
+// New builds a bank over a fresh core cluster. feeCents is the overdraft
+// fee charged per uncovered check.
+func New(s *sim.Sim, cfg core.Config, feeCents int64) *Bank {
+	b := &Bank{
+		s:        s,
+		fee:      feeCents,
+		checkSeq: make(map[string]int),
+	}
+	b.C = core.NewCluster[*Accounts](s, cfg, App{}, NoOverdraft())
+	for i := 0; i < b.C.Replicas(); i++ {
+		b.stmts = append(b.stmts, make(map[string][]Statement))
+		b.onStmt = append(b.onStmt, make(map[uniq.ID]bool))
+	}
+	// The designed apology (§5.6): business-specific compensation code
+	// that charges the fee, with no human in the loop.
+	b.C.Apologies.AddHandler(func(a apology.Apology) bool {
+		if a.Rule != RuleName {
+			return false
+		}
+		b.Bounced.Inc()
+		b.C.Submit(0, KindBounceFee, a.Key, b.fee,
+			"overdraft fee for "+a.Detail, policy.AlwaysAsync(), func(core.Result) {})
+		return true
+	})
+	return b
+}
+
+// Deposit credits cents to account at replica rep.
+func (b *Bank) Deposit(rep int, account string, cents int64, done func(core.Result)) {
+	b.C.Submit(rep, KindDeposit, account, cents, "", policy.AlwaysAsync(), done)
+}
+
+// ClearCheck presents a numbered check at replica rep. The check number
+// is the uniquifier: presenting the same check at two replicas debits the
+// account once. pol decides whether this check clears on local knowledge
+// or coordinates (the $10,000 rule).
+func (b *Bank) ClearCheck(rep int, account string, checkNo int, cents int64, pol policy.Policy, done func(core.Result)) {
+	op := oplogEntry(account, checkNo, cents, b.s.Now())
+	b.C.SubmitOp(rep, op, pol, done)
+}
+
+// NextCheckNo hands out the next check number for an account's checkbook.
+func (b *Bank) NextCheckNo(account string) int {
+	b.checkSeq[account]++
+	return b.checkSeq[account]
+}
+
+func oplogEntry(account string, checkNo int, cents int64, at sim.Time) oplog.Entry {
+	return oplog.Entry{
+		ID:   uniq.CheckNumber("quicksand-bank", account, checkNo),
+		Kind: KindClear,
+		Key:  account,
+		Arg:  cents,
+		At:   at,
+	}
+}
+
+// Balance reads an account's balance as replica rep currently knows it —
+// a guess, not the truth (§5.1).
+func (b *Bank) Balance(rep int, account string) int64 {
+	return b.C.Replica(rep).State().Balance(account)
+}
+
+// IssueStatement closes the books for account at replica rep: every
+// operation this replica has seen, dated at or before cutoff and not on a
+// previous statement, becomes one immutable statement. Late-arriving
+// operations — even ones dated inside an already-issued statement's
+// window — land on the next statement, never a reprint.
+func (b *Bank) IssueStatement(rep int, account string, cutoff sim.Time) Statement {
+	seen := b.onStmt[rep]
+	var lines []oplog.Entry
+	for _, e := range b.C.Replica(rep).Ops().Entries() {
+		if e.Key != account || e.At > cutoff || seen[e.ID] {
+			continue
+		}
+		lines = append(lines, e)
+	}
+	prev := b.stmts[rep][account]
+	opening := int64(0)
+	if len(prev) > 0 {
+		opening = prev[len(prev)-1].Closing
+	}
+	closing := opening
+	for _, e := range lines {
+		closing += opEffect(e)
+		seen[e.ID] = true
+	}
+	st := Statement{
+		Account:  account,
+		Seq:      len(prev) + 1,
+		Opening:  opening,
+		Closing:  closing,
+		Lines:    lines,
+		CutoffAt: cutoff,
+		IssuedAt: b.s.Now(),
+	}
+	b.stmts[rep][account] = append(prev, st)
+	return st
+}
+
+// Statements returns the issued statements for account at replica rep.
+func (b *Bank) Statements(rep int, account string) []Statement {
+	return append([]Statement(nil), b.stmts[rep][account]...)
+}
+
+func opEffect(e oplog.Entry) int64 {
+	switch e.Kind {
+	case KindDeposit:
+		return e.Arg
+	default: // clear-check, bounce-fee
+		return -e.Arg
+	}
+}

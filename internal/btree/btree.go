@@ -1,0 +1,358 @@
+// Package btree implements an in-memory B-tree with string keys and
+// values. It is the ordered store underneath the simulated disk processes:
+// the state a Tandem DP manages, and the database a log-shipping primary
+// and backup keep in sync.
+//
+// The implementation is the classic CLRS B-tree: nodes hold between t-1
+// and 2t-1 keys (except the root), splits happen top-down on insert, and
+// deletes rebalance by borrowing from or merging with siblings.
+package btree
+
+import "sort"
+
+type item struct {
+	key, val string
+}
+
+type node struct {
+	items    []item
+	children []*node // empty for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of key in n.items, or the child index to descend
+// into, and whether the key was found at that index.
+func (n *node) find(key string) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= key })
+	if i < len(n.items) && n.items[i].key == key {
+		return i, true
+	}
+	return i, false
+}
+
+// Tree is a B-tree mapping string keys to string values. The zero value
+// is not usable; construct with New.
+type Tree struct {
+	root *node
+	size int
+	t    int // minimum degree: nodes hold t-1..2t-1 keys
+}
+
+// DefaultDegree is the minimum degree used by New.
+const DefaultDegree = 16
+
+// New returns an empty tree with the default degree.
+func New() *Tree { return NewDegree(DefaultDegree) }
+
+// NewDegree returns an empty tree with minimum degree t (t >= 2). Small
+// degrees force deep trees and are useful in tests.
+func NewDegree(t int) *Tree {
+	if t < 2 {
+		panic("btree: minimum degree must be >= 2")
+	}
+	return &Tree{root: &node{}, t: t}
+}
+
+// Len reports the number of keys stored.
+func (tr *Tree) Len() int { return tr.size }
+
+// Get returns the value for key and whether it is present.
+func (tr *Tree) Get(key string) (string, bool) {
+	n := tr.root
+	for {
+		i, ok := n.find(key)
+		if ok {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			return "", false
+		}
+		n = n.children[i]
+	}
+}
+
+// Put stores val under key, returning the previous value and whether one
+// existed.
+func (tr *Tree) Put(key, val string) (string, bool) {
+	if len(tr.root.items) == 2*tr.t-1 {
+		old := tr.root
+		tr.root = &node{children: []*node{old}}
+		tr.splitChild(tr.root, 0)
+	}
+	prev, existed := tr.insertNonFull(tr.root, key, val)
+	if !existed {
+		tr.size++
+	}
+	return prev, existed
+}
+
+// splitChild splits the full child at index i of parent p.
+func (tr *Tree) splitChild(p *node, i int) {
+	t := tr.t
+	child := p.children[i]
+	mid := child.items[t-1]
+
+	right := &node{items: append([]item(nil), child.items[t:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[t:]...)
+		child.children = child.children[:t]
+	}
+	child.items = child.items[:t-1]
+
+	p.items = append(p.items, item{})
+	copy(p.items[i+1:], p.items[i:])
+	p.items[i] = mid
+
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+}
+
+func (tr *Tree) insertNonFull(n *node, key, val string) (string, bool) {
+	for {
+		i, ok := n.find(key)
+		if ok {
+			prev := n.items[i].val
+			n.items[i].val = val
+			return prev, true
+		}
+		if n.leaf() {
+			n.items = append(n.items, item{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item{key: key, val: val}
+			return "", false
+		}
+		if len(n.children[i].items) == 2*tr.t-1 {
+			tr.splitChild(n, i)
+			if key == n.items[i].key {
+				prev := n.items[i].val
+				n.items[i].val = val
+				return prev, true
+			}
+			if key > n.items[i].key {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (tr *Tree) Delete(key string) (string, bool) {
+	val, ok := tr.delete(tr.root, key)
+	if len(tr.root.items) == 0 && !tr.root.leaf() {
+		tr.root = tr.root.children[0]
+	}
+	if ok {
+		tr.size--
+	}
+	return val, ok
+}
+
+// delete removes key from the subtree rooted at n. Invariant: n has at
+// least t items whenever delete recurses into it (except the root).
+func (tr *Tree) delete(n *node, key string) (string, bool) {
+	t := tr.t
+	i, found := n.find(key)
+	if found {
+		if n.leaf() {
+			val := n.items[i].val
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return val, true
+		}
+		// Internal node: replace with predecessor or successor, or merge.
+		val := n.items[i].val
+		switch {
+		case len(n.children[i].items) >= t:
+			pred := tr.deleteMax(n.children[i])
+			n.items[i] = pred
+		case len(n.children[i+1].items) >= t:
+			succ := tr.deleteMin(n.children[i+1])
+			n.items[i] = succ
+		default:
+			tr.mergeChildren(n, i)
+			tr.delete(n.children[i], key)
+		}
+		return val, true
+	}
+	if n.leaf() {
+		return "", false
+	}
+	// Ensure the child we descend into has at least t items.
+	if len(n.children[i].items) < t {
+		i = tr.fill(n, i)
+	}
+	return tr.delete(n.children[i], key)
+}
+
+// deleteMax removes and returns the maximum item of the subtree at n.
+func (tr *Tree) deleteMax(n *node) item {
+	for {
+		if n.leaf() {
+			it := n.items[len(n.items)-1]
+			n.items = n.items[:len(n.items)-1]
+			return it
+		}
+		i := len(n.children) - 1
+		if len(n.children[i].items) < tr.t {
+			i = tr.fill(n, i)
+			continue
+		}
+		n = n.children[i]
+	}
+}
+
+// deleteMin removes and returns the minimum item of the subtree at n.
+func (tr *Tree) deleteMin(n *node) item {
+	for {
+		if n.leaf() {
+			it := n.items[0]
+			n.items = append(n.items[:0], n.items[1:]...)
+			return it
+		}
+		if len(n.children[0].items) < tr.t {
+			tr.fill(n, 0)
+			continue
+		}
+		n = n.children[0]
+	}
+}
+
+// fill guarantees child i of n has at least t items, by borrowing from a
+// sibling or merging. It returns the (possibly shifted) child index to
+// descend into.
+func (tr *Tree) fill(n *node, i int) int {
+	t := tr.t
+	switch {
+	case i > 0 && len(n.children[i-1].items) >= t:
+		tr.borrowFromLeft(n, i)
+	case i < len(n.children)-1 && len(n.children[i+1].items) >= t:
+		tr.borrowFromRight(n, i)
+	case i > 0:
+		tr.mergeChildren(n, i-1)
+		i--
+	default:
+		tr.mergeChildren(n, i)
+	}
+	return i
+}
+
+func (tr *Tree) borrowFromLeft(n *node, i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.items = append(child.items, item{})
+	copy(child.items[1:], child.items)
+	child.items[0] = n.items[i-1]
+	n.items[i-1] = left.items[len(left.items)-1]
+	left.items = left.items[:len(left.items)-1]
+	if !left.leaf() {
+		moved := left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = moved
+	}
+}
+
+func (tr *Tree) borrowFromRight(n *node, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	n.items[i] = right.items[0]
+	right.items = append(right.items[:0], right.items[1:]...)
+	if !right.leaf() {
+		moved := right.children[0]
+		right.children = append(right.children[:0], right.children[1:]...)
+		child.children = append(child.children, moved)
+	}
+}
+
+// mergeChildren merges child i, separator i, and child i+1 into child i.
+func (tr *Tree) mergeChildren(n *node, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Min returns the smallest key and its value; ok is false on an empty tree.
+func (tr *Tree) Min() (key, val string, ok bool) {
+	if tr.size == 0 {
+		return "", "", false
+	}
+	n := tr.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0].key, n.items[0].val, true
+}
+
+// Max returns the largest key and its value; ok is false on an empty tree.
+func (tr *Tree) Max() (key, val string, ok bool) {
+	if tr.size == 0 {
+		return "", "", false
+	}
+	n := tr.root
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	it := n.items[len(n.items)-1]
+	return it.key, it.val, true
+}
+
+// Ascend visits every key/value pair in ascending key order until fn
+// returns false.
+func (tr *Tree) Ascend(fn func(key, val string) bool) {
+	tr.ascend(tr.root, fn)
+}
+
+func (tr *Tree) ascend(n *node, fn func(key, val string) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() && !tr.ascend(n.children[i], fn) {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return tr.ascend(n.children[len(n.children)-1], fn)
+	}
+	return true
+}
+
+// AscendRange visits pairs with lo <= key < hi in ascending order until fn
+// returns false.
+func (tr *Tree) AscendRange(lo, hi string, fn func(key, val string) bool) {
+	tr.Ascend(func(k, v string) bool {
+		if k < lo {
+			return true
+		}
+		if k >= hi {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// Keys returns all keys in ascending order.
+func (tr *Tree) Keys() []string {
+	out := make([]string, 0, tr.size)
+	tr.Ascend(func(k, _ string) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the tree. Takeover tests use this to
+// snapshot a backup's state before replaying more log.
+func (tr *Tree) Clone() *Tree {
+	c := NewDegree(tr.t)
+	tr.Ascend(func(k, v string) bool {
+		c.Put(k, v)
+		return true
+	})
+	return c
+}

@@ -1,0 +1,67 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Substrate micro-benchmarks: the ordered store underlies every disk
+// process and database in the repository, so its constants matter to
+// experiment wall time.
+
+func BenchmarkPutSequential(b *testing.B) {
+	tr := New()
+	keys := make([]string, b.N)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%09d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], "v")
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	tr := New()
+	const n = 1 << 16
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("key-%09d", i)
+		tr.Put(keys[i], "v")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i&(n-1)])
+	}
+}
+
+func BenchmarkPutDeleteChurn(b *testing.B) {
+	tr := New()
+	const live = 1 << 12
+	keys := make([]string, live)
+	for i := 0; i < live; i++ {
+		keys[i] = fmt.Sprintf("key-%09d", i)
+		tr.Put(keys[i], "v")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(live-1)]
+		tr.Delete(k)
+		tr.Put(k, "v")
+	}
+}
+
+func BenchmarkAscendFullScan(b *testing.B) {
+	tr := New()
+	for i := 0; i < 1<<14; i++ {
+		tr.Put(fmt.Sprintf("key-%09d", i), "v")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Ascend(func(k, v string) bool {
+			count++
+			return true
+		})
+	}
+}

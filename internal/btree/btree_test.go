@@ -1,0 +1,254 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty tree found something")
+	}
+	if _, ok := tr.Delete("x"); ok {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree ok")
+	}
+}
+
+func TestPutGetOverwrite(t *testing.T) {
+	tr := New()
+	if _, existed := tr.Put("k", "v1"); existed {
+		t.Fatal("fresh Put claimed existing")
+	}
+	prev, existed := tr.Put("k", "v2")
+	if !existed || prev != "v1" {
+		t.Fatalf("overwrite returned (%q,%v)", prev, existed)
+	}
+	if v, _ := tr.Get("k"); v != "v2" {
+		t.Fatalf("Get = %q", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", tr.Len())
+	}
+}
+
+func TestManyKeysWithSplits(t *testing.T) {
+	tr := NewDegree(2) // degree 2 forces splits constantly
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Put(fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(fmt.Sprintf("k%04d", i))
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(k%04d) = %q,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDeleteEveryKeyEveryOrder(t *testing.T) {
+	// Deleting in ascending, descending, and shuffled order exercises the
+	// borrow-left, borrow-right, and merge paths.
+	orders := map[string]func(n int) []int{
+		"ascending": func(n int) []int {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			return idx
+		},
+		"descending": func(n int) []int {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = n - 1 - i
+			}
+			return idx
+		},
+		"shuffled": func(n int) []int { return rand.New(rand.NewSource(7)).Perm(n) },
+	}
+	for name, order := range orders {
+		t.Run(name, func(t *testing.T) {
+			tr := NewDegree(2)
+			const n = 500
+			for i := 0; i < n; i++ {
+				tr.Put(fmt.Sprintf("k%04d", i), "v")
+			}
+			for _, i := range order(n) {
+				key := fmt.Sprintf("k%04d", i)
+				if _, ok := tr.Delete(key); !ok {
+					t.Fatalf("Delete(%s) missing", key)
+				}
+				if _, ok := tr.Get(key); ok {
+					t.Fatalf("Get(%s) found deleted key", key)
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("Len = %d after deleting all", tr.Len())
+			}
+		})
+	}
+}
+
+func TestDeleteAbsentKeyInPopulatedTree(t *testing.T) {
+	tr := NewDegree(2)
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("k%03d", i*2), "v")
+	}
+	if _, ok := tr.Delete("k001"); ok { // odd key never inserted
+		t.Fatal("deleted a key that was never inserted")
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len changed to %d", tr.Len())
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := NewDegree(3)
+	keys := []string{"m", "a", "z", "c", "q", "b"}
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	got := tr.Keys()
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Put(fmt.Sprintf("%d", i), "v")
+	}
+	visits := 0
+	tr.Ascend(func(k, v string) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("visited %d, want 3", visits)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		tr.Put(k, k)
+	}
+	var got []string
+	tr.AscendRange("b", "d", func(k, v string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("AscendRange = %v, want [b c] (hi exclusive)", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := NewDegree(2)
+	for i := 50; i < 150; i++ {
+		tr.Put(fmt.Sprintf("k%03d", i), "v")
+	}
+	if k, _, _ := tr.Min(); k != "k050" {
+		t.Fatalf("Min = %q", k)
+	}
+	if k, _, _ := tr.Max(); k != "k149" {
+		t.Fatalf("Max = %q", k)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New()
+	tr.Put("a", "1")
+	c := tr.Clone()
+	c.Put("b", "2")
+	tr.Put("a", "changed")
+	if v, _ := c.Get("a"); v != "1" {
+		t.Fatal("clone shares storage with original")
+	}
+	if _, ok := tr.Get("b"); ok {
+		t.Fatal("original saw clone's insert")
+	}
+}
+
+func TestNewDegreePanicsBelow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDegree(1) did not panic")
+		}
+	}()
+	NewDegree(1)
+}
+
+// TestPropMatchesReferenceMap drives random Put/Delete/Get traffic against
+// both the tree and a plain map, checking full agreement including
+// iteration order.
+func TestPropMatchesReferenceMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := NewDegree(2)
+		ref := map[string]string{}
+		for step := 0; step < 300; step++ {
+			k := fmt.Sprintf("k%02d", r.Intn(40))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", step)
+				tr.Put(k, v)
+				ref[k] = v
+			case 2:
+				_, treeOK := tr.Delete(k)
+				_, refOK := ref[k]
+				if treeOK != refOK {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		want := make([]string, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		got := tr.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+			if v, ok := tr.Get(want[i]); !ok || v != ref[want[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

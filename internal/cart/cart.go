@@ -1,0 +1,192 @@
+// Package cart implements the paper's Example 4 (§6.1): the shopping cart
+// on a Dynamo-style store.
+//
+// The operation-centric cart records the user's intentions — ADD-TO-CART,
+// CHANGE-NUMBER, DELETE-FROM-CART — "much like a ledger entry" inside the
+// blob it PUTs. When a GET surfaces sibling versions, reconciliation is a
+// union of uniquely identified operations, so "items added to the cart
+// will not be lost" no matter how replication interleaved the versions.
+//
+// The package also contains the §6.4 strawman, a state-merge cart that
+// stores only the resulting items and reconciles siblings by set union of
+// items. It loses concurrent quantity updates and resurrects deleted items
+// — the ablation A1 measures exactly that difference.
+package cart
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/dynamo"
+	"repro/internal/oplog"
+	"repro/internal/sim"
+	"repro/internal/uniq"
+	"repro/internal/vclock"
+)
+
+// Operation kinds, named as in §6.1.
+const (
+	KindAdd    = "ADD-TO-CART"
+	KindChange = "CHANGE-NUMBER"
+	KindDelete = "DELETE-FROM-CART"
+)
+
+// Item is one line of a materialized cart.
+type Item struct {
+	SKU string
+	Qty int64
+}
+
+// Contents folds an operation set into the cart's items, in SKU order.
+// Adds accumulate, CHANGE-NUMBER sets the quantity (last in canonical
+// order wins), DELETE-FROM-CART zeroes it. Items with zero or negative
+// quantity are omitted.
+func Contents(ops *oplog.Set) []Item {
+	qty := map[string]int64{}
+	for _, e := range ops.Entries() {
+		switch e.Kind {
+		case KindAdd:
+			qty[e.Key] += e.Arg
+		case KindChange:
+			qty[e.Key] = e.Arg
+		case KindDelete:
+			qty[e.Key] = 0
+		}
+	}
+	items := make([]Item, 0, len(qty))
+	for sku, n := range qty {
+		if n > 0 {
+			items = append(items, Item{SKU: sku, Qty: n})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].SKU < items[j].SKU })
+	return items
+}
+
+// Encode serializes an operation set for storage in a Dynamo blob.
+func Encode(ops *oplog.Set) string {
+	b, err := json.Marshal(ops.Entries())
+	if err != nil {
+		panic(fmt.Sprintf("cart: encode: %v", err)) // Entry is always marshalable
+	}
+	return string(b)
+}
+
+// Decode parses a blob back into an operation set. Unparseable blobs are
+// an error: carts only ever store Encode output.
+func Decode(blob string) (*oplog.Set, error) {
+	var entries []oplog.Entry
+	if err := json.Unmarshal([]byte(blob), &entries); err != nil {
+		return nil, fmt.Errorf("cart: decode: %w", err)
+	}
+	return oplog.NewSet(entries...), nil
+}
+
+// Reconcile unions sibling blobs into one operation set — the
+// application-level merge Dynamo demands of its clients ("a subsequent
+// PUT must include a blob that integrates and reconciles all the
+// presented versions"). It reports how many siblings were merged.
+func Reconcile(versions []dynamo.Version) (*oplog.Set, int, error) {
+	merged := oplog.NewSet()
+	for _, v := range versions {
+		set, err := Decode(v.Value)
+		if err != nil {
+			return nil, 0, err
+		}
+		merged.Union(set)
+	}
+	return merged, len(versions), nil
+}
+
+// Session is one user's operation-centric shopping session.
+type Session struct {
+	cl    *dynamo.Cluster
+	s     *sim.Sim
+	key   string // the cart's blob key
+	actor string // session identity for version clocks
+	gen   *uniq.Gen
+	last  vclock.VC  // the session's own causal history; see dynamo.NextClock
+	mine  *oplog.Set // every op this session has issued (its memories, §5.7)
+
+	Reconciliations int // GETs that surfaced >1 sibling
+}
+
+// NewSession opens a session for user actor on cart key.
+func NewSession(cl *dynamo.Cluster, key, actor string) *Session {
+	return &Session{
+		cl:    cl,
+		s:     cl.Net().Sim(),
+		key:   key,
+		actor: actor,
+		gen:   uniq.NewGen(actor),
+		mine:  oplog.NewSet(),
+	}
+}
+
+// Add puts qty units of sku in the cart.
+func (ss *Session) Add(sku string, qty int64, done func(ok bool)) {
+	ss.mutate(oplog.Entry{Kind: KindAdd, Key: sku, Arg: qty}, done)
+}
+
+// ChangeQty sets the quantity of sku (the paper's CHANGE-NUMBER).
+func (ss *Session) ChangeQty(sku string, qty int64, done func(ok bool)) {
+	ss.mutate(oplog.Entry{Kind: KindChange, Key: sku, Arg: qty}, done)
+}
+
+// Delete removes sku from the cart.
+func (ss *Session) Delete(sku string, done func(ok bool)) {
+	ss.mutate(oplog.Entry{Kind: KindDelete, Key: sku, Arg: 0}, done)
+}
+
+// mutate is the §6.1 cycle: GET (collect siblings), reconcile by op
+// union, append the new intention, PUT back with the merged context. The
+// session folds its own causal history into the context so a stale quorum
+// read can never make it reuse a version clock (dynamo.NextClock).
+func (ss *Session) mutate(op oplog.Entry, done func(bool)) {
+	ss.cl.Get(ss.key, func(versions []dynamo.Version, ctx vclock.VC, ok bool) {
+		if !ok {
+			done(false)
+			return
+		}
+		merged, siblings, err := Reconcile(versions)
+		if err != nil {
+			done(false)
+			return
+		}
+		if siblings > 1 {
+			ss.Reconciliations++
+		}
+		// Re-contribute this session's own memories: the new version's
+		// clock will dominate the session's earlier versions, so their
+		// ops must ride along even if the quorum read missed them.
+		merged.Union(ss.mine)
+		op.ID = ss.gen.Next()
+		op.At = ss.s.Now()
+		op.Lam = merged.MaxLam() + 1
+		merged.Add(op)
+		ss.mine.Add(op)
+		ctx = ctx.Merge(ss.last)
+		ss.last = dynamo.NextClock(ctx, ss.actor)
+		ss.cl.Put(ss.key, Encode(merged), ctx, ss.actor, done)
+	})
+}
+
+// Contents reads and reconciles the cart without modifying it.
+func (ss *Session) Contents(done func(items []Item, ok bool)) {
+	ss.cl.Get(ss.key, func(versions []dynamo.Version, _ vclock.VC, ok bool) {
+		if !ok {
+			done(nil, false)
+			return
+		}
+		merged, siblings, err := Reconcile(versions)
+		if err != nil {
+			done(nil, false)
+			return
+		}
+		if siblings > 1 {
+			ss.Reconciliations++
+		}
+		done(Contents(merged), true)
+	})
+}

@@ -1,0 +1,315 @@
+package cart
+
+import (
+	"testing"
+
+	"repro/internal/dynamo"
+	"repro/internal/oplog"
+	"repro/internal/sim"
+)
+
+func newStore(seed int64, cfg dynamo.Config) (*sim.Sim, *dynamo.Cluster) {
+	s := sim.New(seed)
+	return s, dynamo.New(s, cfg)
+}
+
+// do runs an op returning its success after the sim settles.
+func do(t *testing.T, s *sim.Sim, fn func(done func(bool))) {
+	t.Helper()
+	var ok, fired bool
+	fn(func(o bool) { fired, ok = true, o })
+	s.Run()
+	if !fired || !ok {
+		t.Fatalf("cart operation failed (fired=%v ok=%v)", fired, ok)
+	}
+}
+
+func contents(t *testing.T, s *sim.Sim, get func(func([]Item, bool))) []Item {
+	t.Helper()
+	var items []Item
+	var fired, ok bool
+	get(func(it []Item, o bool) { fired, ok, items = true, o, it })
+	s.Run()
+	if !fired || !ok {
+		t.Fatal("contents read failed")
+	}
+	return items
+}
+
+func TestAddChangeDelete(t *testing.T) {
+	s, cl := newStore(1, dynamo.Config{})
+	ss := NewSession(cl, "cart:alice", "alice")
+	do(t, s, func(d func(bool)) { ss.Add("book", 1, d) })
+	do(t, s, func(d func(bool)) { ss.Add("milk", 2, d) })
+	do(t, s, func(d func(bool)) { ss.ChangeQty("milk", 5, d) })
+	do(t, s, func(d func(bool)) { ss.Delete("book", d) })
+	items := contents(t, s, ss.Contents)
+	if len(items) != 1 || items[0] != (Item{SKU: "milk", Qty: 5}) {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestAddsOfSameSKUAccumulate(t *testing.T) {
+	s, cl := newStore(1, dynamo.Config{})
+	ss := NewSession(cl, "c", "alice")
+	do(t, s, func(d func(bool)) { ss.Add("book", 1, d) })
+	do(t, s, func(d func(bool)) { ss.Add("book", 2, d) })
+	items := contents(t, s, ss.Contents)
+	if len(items) != 1 || items[0].Qty != 3 {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	set := oplog.NewSet(
+		oplog.Entry{ID: "a", Kind: KindAdd, Key: "book", Arg: 2, Lam: 1, At: 5},
+		oplog.Entry{ID: "b", Kind: KindDelete, Key: "milk", Lam: 2, At: 6},
+	)
+	got, err := Decode(Encode(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(set) {
+		t.Fatalf("round trip lost data: %+v", got.Entries())
+	}
+}
+
+func TestDecodeGarbageFails(t *testing.T) {
+	if _, err := Decode("{not json"); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+// TestConcurrentSessionsNoLostAdds is the §6.1 headline: two sessions add
+// concurrently from the same stale read; op-union reconciliation keeps
+// both.
+func TestConcurrentSessionsNoLostAdds(t *testing.T) {
+	s, cl := newStore(2, dynamo.Config{})
+	alice := NewSession(cl, "c", "alice")
+	bob := NewSession(cl, "c", "bob")
+	// Interleave: both GET before either PUT lands, by launching both
+	// mutations in the same event breath.
+	results := 0
+	alice.Add("book", 1, func(ok bool) {
+		if ok {
+			results++
+		}
+	})
+	bob.Add("milk", 2, func(ok bool) {
+		if ok {
+			results++
+		}
+	})
+	s.Run()
+	if results != 2 {
+		t.Fatalf("adds acked = %d", results)
+	}
+	items := contents(t, s, alice.Contents)
+	if len(items) != 2 {
+		t.Fatalf("a concurrent add was lost: %+v", items)
+	}
+}
+
+func TestOpCartDeleteStaysDeleted(t *testing.T) {
+	// Delete concurrent with an unrelated change: the tombstone op
+	// survives the union; the deleted item must NOT reappear.
+	s, cl := newStore(3, dynamo.Config{})
+	alice := NewSession(cl, "c", "alice")
+	bob := NewSession(cl, "c", "bob")
+	do(t, s, func(d func(bool)) { alice.Add("book", 1, d) })
+	do(t, s, func(d func(bool)) { alice.Add("milk", 1, d) })
+	// Concurrently: alice deletes book while bob bumps milk.
+	n := 0
+	alice.Delete("book", func(ok bool) {
+		if ok {
+			n++
+		}
+	})
+	bob.Add("milk", 1, func(ok bool) {
+		if ok {
+			n++
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("ops acked = %d", n)
+	}
+	items := contents(t, s, alice.Contents)
+	for _, it := range items {
+		if it.SKU == "book" {
+			t.Fatalf("deleted item resurrected in op-centric cart: %+v", items)
+		}
+	}
+}
+
+func TestStateMergeCartLosesConcurrentAdds(t *testing.T) {
+	// A1 strawman behaviour: two concurrent "add one book" from the same
+	// base state merge to ONE book (max), not two.
+	s, cl := newStore(4, dynamo.Config{})
+	alice := NewStateMergeSession(cl, "c", "alice")
+	bob := NewStateMergeSession(cl, "c", "bob")
+	do(t, s, func(d func(bool)) { alice.Add("book", 1, d) })
+	n := 0
+	alice.Add("book", 1, func(ok bool) {
+		if ok {
+			n++
+		}
+	})
+	bob.Add("book", 1, func(ok bool) {
+		if ok {
+			n++
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("adds acked = %d", n)
+	}
+	items := contents(t, s, alice.Contents)
+	if len(items) != 1 {
+		t.Fatalf("items = %+v", items)
+	}
+	if items[0].Qty >= 3 {
+		t.Fatalf("state merge kept both concurrent adds (qty=%d); strawman should lose one", items[0].Qty)
+	}
+}
+
+func TestStateMergeCartResurrectsDeletes(t *testing.T) {
+	// The paper's observed anomaly: "occasionally deleted items will
+	// reappear" — guaranteed here by deleting concurrently with any
+	// other sibling change.
+	s, cl := newStore(5, dynamo.Config{})
+	alice := NewStateMergeSession(cl, "c", "alice")
+	bob := NewStateMergeSession(cl, "c", "bob")
+	do(t, s, func(d func(bool)) { alice.Add("book", 1, d) })
+	do(t, s, func(d func(bool)) { alice.Add("milk", 1, d) })
+	n := 0
+	alice.Delete("book", func(ok bool) {
+		if ok {
+			n++
+		}
+	})
+	bob.ChangeQty("milk", 2, func(ok bool) {
+		if ok {
+			n++
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("ops acked = %d", n)
+	}
+	items := contents(t, s, alice.Contents)
+	found := false
+	for _, it := range items {
+		if it.SKU == "book" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("state-merge cart did NOT resurrect the delete; strawman broken")
+	}
+}
+
+func TestCartSurvivesNodeFailure(t *testing.T) {
+	s, cl := newStore(6, dynamo.Config{Nodes: 5, N: 3, R: 2, W: 2})
+	ss := NewSession(cl, "c", "alice")
+	do(t, s, func(d func(bool)) { ss.Add("book", 1, d) })
+	// Two nodes die; the sloppy quorum keeps the cart writable.
+	cl.SetUp("n1", false)
+	cl.SetUp("n2", false)
+	do(t, s, func(d func(bool)) { ss.Add("milk", 1, d) })
+	items := contents(t, s, ss.Contents)
+	if len(items) != 2 {
+		t.Fatalf("cart lost items across failures: %+v", items)
+	}
+}
+
+func TestReconciliationCounted(t *testing.T) {
+	s, cl := newStore(7, dynamo.Config{})
+	alice := NewSession(cl, "c", "alice")
+	bob := NewSession(cl, "c", "bob")
+	alice.Add("a", 1, func(bool) {})
+	bob.Add("b", 1, func(bool) {})
+	s.Run()
+	// Next op sees the two siblings and must reconcile.
+	do(t, s, func(d func(bool)) { alice.Add("c", 1, d) })
+	if alice.Reconciliations == 0 {
+		t.Fatal("sibling reconciliation not counted")
+	}
+}
+
+func TestContentsOrderDeterministic(t *testing.T) {
+	set := oplog.NewSet(
+		oplog.Entry{ID: "1", Kind: KindAdd, Key: "zebra", Arg: 1, Lam: 1},
+		oplog.Entry{ID: "2", Kind: KindAdd, Key: "apple", Arg: 1, Lam: 2},
+	)
+	items := Contents(set)
+	if items[0].SKU != "apple" || items[1].SKU != "zebra" {
+		t.Fatalf("items not SKU-sorted: %+v", items)
+	}
+}
+
+func TestChangeThenAddOrder(t *testing.T) {
+	// CHANGE-NUMBER then ADD in causal sequence: set to 5, add 1 = 6.
+	set := oplog.NewSet(
+		oplog.Entry{ID: "1", Kind: KindChange, Key: "book", Arg: 5, Lam: 1},
+		oplog.Entry{ID: "2", Kind: KindAdd, Key: "book", Arg: 1, Lam: 2},
+	)
+	items := Contents(set)
+	if len(items) != 1 || items[0].Qty != 6 {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestStateMergeSequentialBehaviour(t *testing.T) {
+	// Without concurrency the strawman behaves correctly — its flaw is
+	// specifically reconciliation, not bookkeeping.
+	s, cl := newStore(8, dynamo.Config{})
+	ss := NewStateMergeSession(cl, "c", "alice")
+	do(t, s, func(d func(bool)) { ss.Add("book", 2, d) })
+	do(t, s, func(d func(bool)) { ss.ChangeQty("book", 5, d) })
+	do(t, s, func(d func(bool)) { ss.Add("milk", 1, d) })
+	do(t, s, func(d func(bool)) { ss.Delete("milk", d) })
+	items := contents(t, s, ss.Contents)
+	if len(items) != 1 || items[0] != (Item{SKU: "book", Qty: 5}) {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestStateMergeReconciliationCounted(t *testing.T) {
+	s, cl := newStore(9, dynamo.Config{})
+	alice := NewStateMergeSession(cl, "c", "alice")
+	bob := NewStateMergeSession(cl, "c", "bob")
+	alice.Add("a", 1, func(bool) {})
+	bob.Add("b", 1, func(bool) {})
+	s.Run()
+	do(t, s, func(d func(bool)) { alice.Add("c", 1, d) })
+	if alice.Reconciliations == 0 {
+		t.Fatal("state-merge sibling reconciliation not counted")
+	}
+}
+
+func TestStateMergeDecodeGarbage(t *testing.T) {
+	if _, err := decodeItems("{broken"); err == nil {
+		t.Fatal("garbage item blob decoded")
+	}
+}
+
+func TestCartOpsFailWhenStoreUnavailable(t *testing.T) {
+	s, cl := newStore(10, dynamo.Config{Nodes: 3})
+	ss := NewSession(cl, "c", "alice")
+	for _, id := range cl.Nodes() {
+		cl.SetUp(id, false)
+	}
+	var fired, ok bool
+	ss.Add("book", 1, func(o bool) { fired, ok = true, o })
+	s.Run()
+	if !fired || ok {
+		t.Fatalf("add with store down: fired=%v ok=%v", fired, ok)
+	}
+	ss.Contents(func(_ []Item, o bool) {
+		if o {
+			t.Error("contents read succeeded with store down")
+		}
+	})
+	s.Run()
+}

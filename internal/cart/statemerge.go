@@ -1,0 +1,138 @@
+package cart
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dynamo"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// StateMergeSession is the §6.4 strawman: the blob stores only the
+// materialized items (READ/WRITE of state, not operations). Sibling
+// reconciliation can only union the item sets and take the larger
+// quantity — it cannot tell "added 1 more" from "already had 1", nor "I
+// deleted this" from "I never saw this". Concurrent adds of the same SKU
+// collapse (a lost update) and deletes concurrent with any other change
+// resurrect. "WRITES to a database are not commutative!"
+type StateMergeSession struct {
+	cl    *dynamo.Cluster
+	s     *sim.Sim
+	key   string
+	actor string
+	last  vclock.VC // own causal history; see dynamo.NextClock
+
+	Reconciliations int
+}
+
+// NewStateMergeSession opens a state-merge session on cart key.
+func NewStateMergeSession(cl *dynamo.Cluster, key, actor string) *StateMergeSession {
+	return &StateMergeSession{cl: cl, s: cl.Net().Sim(), key: key, actor: actor}
+}
+
+func encodeItems(items map[string]int64) string {
+	b, err := json.Marshal(items)
+	if err != nil {
+		panic(fmt.Sprintf("cart: encode items: %v", err))
+	}
+	return string(b)
+}
+
+func decodeItems(blob string) (map[string]int64, error) {
+	items := map[string]int64{}
+	if err := json.Unmarshal([]byte(blob), &items); err != nil {
+		return nil, fmt.Errorf("cart: decode items: %w", err)
+	}
+	return items, nil
+}
+
+// mergeItems reconciles sibling item-states: union of SKUs, max quantity.
+// This is the best a state blob can do — and exactly where the anomalies
+// come from.
+func mergeItems(versions []dynamo.Version) (map[string]int64, error) {
+	merged := map[string]int64{}
+	for _, v := range versions {
+		items, err := decodeItems(v.Value)
+		if err != nil {
+			return nil, err
+		}
+		for sku, qty := range items {
+			if qty > merged[sku] {
+				merged[sku] = qty
+			}
+		}
+	}
+	return merged, nil
+}
+
+func (ss *StateMergeSession) mutate(apply func(map[string]int64), done func(bool)) {
+	ss.cl.Get(ss.key, func(versions []dynamo.Version, ctx vclock.VC, ok bool) {
+		if !ok {
+			done(false)
+			return
+		}
+		items, err := mergeItems(versions)
+		if err != nil {
+			done(false)
+			return
+		}
+		if len(versions) > 1 {
+			ss.Reconciliations++
+		}
+		apply(items)
+		ctx = ctx.Merge(ss.last)
+		ss.last = dynamo.NextClock(ctx, ss.actor)
+		ss.cl.Put(ss.key, encodeItems(items), ctx, ss.actor, done)
+	})
+}
+
+// Add puts qty more units of sku in the cart.
+func (ss *StateMergeSession) Add(sku string, qty int64, done func(ok bool)) {
+	ss.mutate(func(items map[string]int64) { items[sku] += qty }, done)
+}
+
+// ChangeQty sets the quantity of sku.
+func (ss *StateMergeSession) ChangeQty(sku string, qty int64, done func(ok bool)) {
+	ss.mutate(func(items map[string]int64) { items[sku] = qty }, done)
+}
+
+// Delete removes sku — by erasing state, which a concurrent sibling
+// happily restores.
+func (ss *StateMergeSession) Delete(sku string, done func(ok bool)) {
+	ss.mutate(func(items map[string]int64) { delete(items, sku) }, done)
+}
+
+// Contents reads and reconciles the cart without modifying it.
+func (ss *StateMergeSession) Contents(done func(items []Item, ok bool)) {
+	ss.cl.Get(ss.key, func(versions []dynamo.Version, _ vclock.VC, ok bool) {
+		if !ok {
+			done(nil, false)
+			return
+		}
+		merged, err := mergeItems(versions)
+		if err != nil {
+			done(nil, false)
+			return
+		}
+		if len(versions) > 1 {
+			ss.Reconciliations++
+		}
+		out := make([]Item, 0, len(merged))
+		for sku, qty := range merged {
+			if qty > 0 {
+				out = append(out, Item{SKU: sku, Qty: qty})
+			}
+		}
+		sortItems(out)
+		done(out, true)
+	})
+}
+
+func sortItems(items []Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].SKU < items[j-1].SKU; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}

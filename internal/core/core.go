@@ -1,0 +1,249 @@
+// Package core implements the paper's primary contribution as a reusable
+// library: operation-centric, eventually consistent replication in the
+// ACID 2.0 style of §8 — Associative, Commutative, Idempotent,
+// Distributed.
+//
+// Applications model their business as uniquified operations (§6.5's
+// "operation-centric pattern"). A Cluster of Replicas accepts operations
+// on local knowledge (guesses), spreads them by anti-entropy gossip
+// (memories flowing together, §7.6), and derives state by folding the
+// operation set in a canonical order — so "replicas that have seen the
+// same work see the same result, independent of the order in which the
+// work arrived."
+//
+// Business rules are enforced probabilistically (§5.2): a Rule's Admit
+// check runs against the local guess at submit time, and its Violated
+// check runs after merges, when the truth has caught up; discovered
+// violations become apologies (§5.7) routed through an apology.Queue.
+// A policy.Policy picks, per operation, between the asynchronous guess
+// path and §5.8's alternative — synchronous coordination with every
+// replica — implementing the "$10,000 check" rule.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apology"
+	"repro/internal/oplog"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// App folds operations into application state. Step must be insensitive
+// to the canonical fold order produced by oplog.Set — in ACID 2.0 terms,
+// the operations must commute (or the App must make them commute, e.g. by
+// last-ingress-wins tie-breaks, which canonical order makes deterministic).
+//
+// Every fold starts from a fresh Init(), so Step may mutate and return the
+// accumulator in place; previously returned states remain valid snapshots.
+type App[S any] interface {
+	// Init returns the empty state.
+	Init() S
+	// Step applies one operation.
+	Step(state S, op oplog.Entry) S
+}
+
+// Violation is one discovered breach of a business rule.
+type Violation struct {
+	Detail string // stable description; identical violations dedupe
+	Key    string // object concerned (account, SKU, ...) for compensation code
+	Amount int64  // money at stake, in cents (0 if not monetary)
+}
+
+// Rule is a probabilistically enforced business rule (§5.2).
+type Rule[S any] struct {
+	Name string
+	// Admit, if non-nil, gates an operation against the replica's local
+	// (guessed) state. Returning false declines the business.
+	Admit func(state S, op oplog.Entry) bool
+	// Violated, if non-nil, inspects a (possibly newly merged) state and
+	// reports standing violations — the "Oh, crap!" moments of §5.7.
+	Violated func(state S) []Violation
+}
+
+// Config tunes a Cluster. Zero fields take defaults.
+type Config struct {
+	Replicas    int            // default 3
+	MsgLatency  simnet.Latency // default 5ms ± 2ms (cross-site links)
+	CallTimeout time.Duration  // default 100ms
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.MsgLatency == nil {
+		c.MsgLatency = simnet.Jitter{Base: 5 * time.Millisecond, Spread: 2 * time.Millisecond}
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Result reports the outcome of one Submit.
+type Result struct {
+	Accepted bool
+	Decision policy.Decision
+	Latency  time.Duration
+	Op       oplog.Entry
+	Reason   string // why a submit was declined
+}
+
+// Metrics aggregates cluster-wide observations.
+type Metrics struct {
+	AsyncLat stats.Histogram // latency of async (guess) submits
+	SyncLat  stats.Histogram // latency of coordinated submits
+
+	Accepted       stats.Counter
+	Declined       stats.Counter // rejected by a local Admit guess
+	SyncAccepted   stats.Counter
+	SyncDeclined   stats.Counter // coordination failed or a replica refused
+	GossipRounds   stats.Counter
+	OpsTransferred stats.Counter // entries moved by gossip
+}
+
+// Cluster is a set of replicas plus the shared apology queue.
+type Cluster[S any] struct {
+	s     *sim.Sim
+	net   *simnet.Network
+	cfg   Config
+	app   App[S]
+	rules []Rule[S]
+	reps  []*Replica[S]
+
+	Apologies *apology.Queue
+	M         Metrics
+}
+
+// NewCluster builds a cluster of cfg.Replicas replicas named r0, r1, ...
+// sharing one apology queue.
+func NewCluster[S any](s *sim.Sim, cfg Config, app App[S], rules ...Rule[S]) *Cluster[S] {
+	cfg = cfg.withDefaults()
+	c := &Cluster[S]{
+		s:         s,
+		net:       simnet.New(s, simnet.WithLatency(cfg.MsgLatency)),
+		cfg:       cfg,
+		app:       app,
+		rules:     rules,
+		Apologies: apology.NewQueue(),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		c.reps = append(c.reps, newReplica(c, fmt.Sprintf("r%d", i)))
+	}
+	return c
+}
+
+// Net exposes the network for fault injection and partitions.
+func (c *Cluster[S]) Net() *simnet.Network { return c.net }
+
+// Replicas reports the replica count.
+func (c *Cluster[S]) Replicas() int { return len(c.reps) }
+
+// Replica returns replica i.
+func (c *Cluster[S]) Replica(i int) *Replica[S] { return c.reps[i] }
+
+// Submit offers one operation at replica i, assigning a fresh ingress
+// uniquifier. pol routes it (async guess or synchronous coordination);
+// done receives the outcome. Submitting at a crashed replica is refused.
+func (c *Cluster[S]) Submit(i int, kind, key string, arg int64, note string, pol policy.Policy, done func(Result)) {
+	rep := c.reps[i]
+	op := oplog.Entry{ID: rep.gen.Next(), Kind: kind, Key: key, Arg: arg, At: c.s.Now(), Note: note}
+	c.SubmitOp(i, op, pol, done)
+}
+
+// SubmitOp offers a caller-built operation at replica i. The caller owns
+// the uniquifier — how a check number (§6.2) or a content hash (§2.1)
+// becomes the operation identity. An op with an empty ID gets an ingress
+// one; an op whose ID was already seen at this replica is accepted
+// idempotently without re-recording.
+func (c *Cluster[S]) SubmitOp(i int, op oplog.Entry, pol policy.Policy, done func(Result)) {
+	rep := c.reps[i]
+	if op.ID == "" {
+		op.ID = rep.gen.Next()
+	}
+	if op.At == 0 {
+		op.At = c.s.Now()
+	}
+	if op.Lam == 0 {
+		// Lamport ingress stamp: the new op sorts after everything this
+		// replica has seen, so causes fold before their effects.
+		op.Lam = rep.lamport + 1
+	}
+	if rep.ep.Crashed() {
+		done(Result{Op: op, Reason: "replica down"})
+		return
+	}
+	if rep.ops.Contains(op.ID) {
+		// A retry of work this replica already did: idempotent accept.
+		c.M.Accepted.Inc()
+		done(Result{Accepted: true, Op: op, Decision: policy.Async})
+		return
+	}
+	start := c.s.Now()
+	switch pol.Decide(op) {
+	case policy.Async:
+		res := rep.submitLocal(op)
+		res.Latency = c.s.Now().Sub(start)
+		if res.Accepted {
+			c.M.Accepted.Inc()
+			c.M.AsyncLat.AddDur(res.Latency)
+		} else {
+			c.M.Declined.Inc()
+		}
+		done(res)
+	case policy.Sync:
+		rep.submitSync(op, func(res Result) {
+			res.Latency = c.s.Now().Sub(start)
+			if res.Accepted {
+				c.M.Accepted.Inc()
+				c.M.SyncAccepted.Inc()
+				c.M.SyncLat.AddDur(res.Latency)
+			} else {
+				c.M.SyncDeclined.Inc()
+			}
+			done(res)
+		})
+	}
+}
+
+// GossipRound makes every live replica push-pull with its ring neighbour.
+// Repeated rounds converge the cluster; Converged reports when.
+func (c *Cluster[S]) GossipRound() {
+	c.M.GossipRounds.Inc()
+	n := len(c.reps)
+	for i, rep := range c.reps {
+		peer := c.reps[(i+1)%n]
+		if !rep.ep.Crashed() && !peer.ep.Crashed() && c.net.Reachable(rep.ep.ID(), peer.ep.ID()) {
+			rep.pushTo(peer.id)
+		}
+	}
+}
+
+// StartGossip runs GossipRound every interval until the returned stop
+// function is called.
+func (c *Cluster[S]) StartGossip(interval time.Duration) (stop func()) {
+	return c.s.Every(interval, c.GossipRound)
+}
+
+// Converged reports whether every replica holds the same operation set.
+func (c *Cluster[S]) Converged() bool {
+	for i := 1; i < len(c.reps); i++ {
+		if !c.reps[0].ops.Equal(c.reps[i].ops) {
+			return false
+		}
+	}
+	return true
+}
+
+// States returns every replica's current derived state.
+func (c *Cluster[S]) States() []S {
+	out := make([]S, len(c.reps))
+	for i, r := range c.reps {
+		out[i] = r.State()
+	}
+	return out
+}

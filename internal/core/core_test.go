@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/oplog"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/uniq"
+)
+
+// counterApp is the simplest commutative application: per-key running
+// sums of credits and debits.
+type counterApp struct{}
+
+type counterState map[string]int64
+
+func (counterApp) Init() counterState { return counterState{} }
+
+func (counterApp) Step(s counterState, op oplog.Entry) counterState {
+	// Fold builds a fresh state each time, but Step receives the shared
+	// accumulator; copy-on-first-write keeps replicas independent.
+	ns := make(counterState, len(s)+1)
+	for k, v := range s {
+		ns[k] = v
+	}
+	switch op.Kind {
+	case "credit":
+		ns[op.Key] += op.Arg
+	case "debit":
+		ns[op.Key] -= op.Arg
+	}
+	return ns
+}
+
+// noOverdraft declines debits the local guess can't cover and reports
+// accounts below zero after merges.
+func noOverdraft() Rule[counterState] {
+	return Rule[counterState]{
+		Name: "no-overdraft",
+		Admit: func(s counterState, op oplog.Entry) bool {
+			if op.Kind != "debit" {
+				return true
+			}
+			return s[op.Key] >= op.Arg
+		},
+		Violated: func(s counterState) []Violation {
+			var out []Violation
+			for k, v := range s {
+				if v < 0 {
+					out = append(out, Violation{Detail: fmt.Sprintf("account %s overdrawn", k), Amount: -v})
+				}
+			}
+			return out
+		},
+	}
+}
+
+func newTestCluster(seed int64, replicas int, rules ...Rule[counterState]) (*sim.Sim, *Cluster[counterState]) {
+	s := sim.New(seed)
+	c := NewCluster[counterState](s, Config{Replicas: replicas}, counterApp{}, rules...)
+	return s, c
+}
+
+func submit(t *testing.T, s *sim.Sim, c *Cluster[counterState], rep int, kind, key string, arg int64, pol policy.Policy) Result {
+	t.Helper()
+	var res Result
+	fired := false
+	c.Submit(rep, kind, key, arg, "", pol, func(r Result) { fired, res = true, r })
+	s.Run()
+	if !fired {
+		t.Fatal("submit never resolved")
+	}
+	return res
+}
+
+func TestAsyncSubmitIsImmediate(t *testing.T) {
+	s, c := newTestCluster(1, 3)
+	res := submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysAsync())
+	if !res.Accepted {
+		t.Fatalf("declined: %s", res.Reason)
+	}
+	if res.Latency != 0 {
+		t.Fatalf("async latency = %v, want 0 (local guess)", res.Latency)
+	}
+	if c.Replica(0).State()["acct"] != 100 {
+		t.Fatal("op not applied locally")
+	}
+	if c.Replica(1).OpCount() != 0 {
+		t.Fatal("async op leaked to peer without gossip")
+	}
+}
+
+func TestSyncSubmitReachesAllReplicas(t *testing.T) {
+	s, c := newTestCluster(1, 3)
+	res := submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysSync())
+	if !res.Accepted {
+		t.Fatalf("declined: %s", res.Reason)
+	}
+	if res.Latency == 0 {
+		t.Fatal("sync submit cannot be latency-free")
+	}
+	for i := 0; i < 3; i++ {
+		if c.Replica(i).State()["acct"] != 100 {
+			t.Fatalf("replica %d missing sync op", i)
+		}
+	}
+}
+
+func TestSyncSubmitFailsWhenReplicaDown(t *testing.T) {
+	s, c := newTestCluster(1, 3)
+	c.Net().SetUp("r2", false)
+	res := submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysSync())
+	if res.Accepted {
+		t.Fatal("sync submit succeeded with a replica down; must be conservative")
+	}
+	if c.M.SyncDeclined.Value() != 1 {
+		t.Fatalf("SyncDeclined = %d", c.M.SyncDeclined.Value())
+	}
+	// The async path keeps working — availability vs consistency.
+	res = submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysAsync())
+	if !res.Accepted {
+		t.Fatal("async submit must survive a down peer")
+	}
+}
+
+func TestGossipConverges(t *testing.T) {
+	s, c := newTestCluster(2, 4)
+	for i := 0; i < 4; i++ {
+		submit(t, s, c, i, "credit", "acct", int64(10*(i+1)), policy.AlwaysAsync())
+	}
+	if c.Converged() {
+		t.Fatal("converged before any gossip?")
+	}
+	for round := 0; round < 4 && !c.Converged(); round++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged after n gossip rounds")
+	}
+	for i, st := range c.States() {
+		if st["acct"] != 100 {
+			t.Fatalf("replica %d state = %d, want 100", i, st["acct"])
+		}
+	}
+}
+
+func TestStateIndependentOfArrivalOrder(t *testing.T) {
+	// The §7.6 property at the cluster level: different gossip paths,
+	// same final state.
+	s, c := newTestCluster(3, 3)
+	submit(t, s, c, 0, "credit", "a", 5, policy.AlwaysAsync())
+	submit(t, s, c, 1, "debit", "a", 3, policy.AlwaysAsync())
+	submit(t, s, c, 2, "credit", "b", 7, policy.AlwaysAsync())
+	for round := 0; round < 3; round++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	states := c.States()
+	for i := 1; i < len(states); i++ {
+		if states[i]["a"] != states[0]["a"] || states[i]["b"] != states[0]["b"] {
+			t.Fatalf("replica states diverge: %v vs %v", states[i], states[0])
+		}
+	}
+	if states[0]["a"] != 2 || states[0]["b"] != 7 {
+		t.Fatalf("final state wrong: %v", states[0])
+	}
+}
+
+func TestAdmitDeclinesLocally(t *testing.T) {
+	s, c := newTestCluster(4, 2, noOverdraft())
+	res := submit(t, s, c, 0, "debit", "acct", 50, policy.AlwaysAsync())
+	if res.Accepted {
+		t.Fatal("overdraft admitted against empty local state")
+	}
+	if res.Reason == "" {
+		t.Fatal("declined result must carry a reason")
+	}
+	if c.M.Declined.Value() != 1 {
+		t.Fatalf("Declined = %d", c.M.Declined.Value())
+	}
+}
+
+func TestProbabilisticEnforcementProducesApology(t *testing.T) {
+	// Two replicas each locally admit a 60-cent debit against a 100-cent
+	// balance — each guess is fine alone, together they overdraw: the
+	// §6.2 replicated-check-clearing anomaly.
+	s, c := newTestCluster(5, 2, noOverdraft())
+	if !submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysAsync()).Accepted {
+		t.Fatal("seed credit failed")
+	}
+	for r := 0; r < 2; r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !submit(t, s, c, 0, "debit", "acct", 60, policy.AlwaysAsync()).Accepted {
+		t.Fatal("debit at r0 declined")
+	}
+	if !submit(t, s, c, 1, "debit", "acct", 60, policy.AlwaysAsync()).Accepted {
+		t.Fatal("debit at r1 declined (r1 has not seen r0's debit)")
+	}
+	for r := 0; r < 2; r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	if got := c.States()[0]["acct"]; got != -20 {
+		t.Fatalf("merged balance = %d, want -20", got)
+	}
+	if c.Apologies.Total() != 1 {
+		t.Fatalf("apologies = %d, want exactly 1 (deduped across replicas)", c.Apologies.Total())
+	}
+}
+
+func TestSyncPolicyPreventsTheApology(t *testing.T) {
+	// Same scenario as above but the second debit coordinates: the
+	// remote replica knows the truth and refuses.
+	s, c := newTestCluster(6, 2, noOverdraft())
+	submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysAsync())
+	for r := 0; r < 2; r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	submit(t, s, c, 0, "debit", "acct", 60, policy.AlwaysAsync())
+	res := submit(t, s, c, 1, "debit", "acct", 60, policy.AlwaysSync())
+	if res.Accepted {
+		t.Fatal("coordinated debit should have been refused by r0")
+	}
+	for r := 0; r < 2; r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if c.Apologies.Total() != 0 {
+		t.Fatalf("apologies = %d, want 0 under coordination", c.Apologies.Total())
+	}
+}
+
+func TestThresholdPolicyRoutesByAmount(t *testing.T) {
+	s, c := newTestCluster(7, 3)
+	pol := policy.Threshold(10_000_00) // $10,000 in cents
+	small := submit(t, s, c, 0, "credit", "acct", 500_00, pol)
+	big := submit(t, s, c, 0, "credit", "acct", 25_000_00, pol)
+	if !small.Accepted || !big.Accepted {
+		t.Fatal("submits failed")
+	}
+	if small.Decision != policy.Async && small.Latency != 0 {
+		t.Fatal("small check should clear locally")
+	}
+	if big.Latency == 0 {
+		t.Fatal("big check must pay coordination latency")
+	}
+	if c.M.SyncAccepted.Value() != 1 {
+		t.Fatalf("SyncAccepted = %d", c.M.SyncAccepted.Value())
+	}
+}
+
+func TestPartitionedReplicasConvergeAfterHeal(t *testing.T) {
+	s, c := newTestCluster(8, 4)
+	c.Net().Partition([]simnet.NodeID{"r0", "r1"}, []simnet.NodeID{"r2", "r3"})
+	submit(t, s, c, 0, "credit", "a", 1, policy.AlwaysAsync())
+	submit(t, s, c, 2, "credit", "a", 2, policy.AlwaysAsync())
+	for r := 0; r < 4; r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if c.Converged() {
+		t.Fatal("converged across a partition?")
+	}
+	c.Net().Heal()
+	for r := 0; r < 4 && !c.Converged(); r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged after heal")
+	}
+	if c.States()[0]["a"] != 3 {
+		t.Fatalf("merged state = %v", c.States()[0])
+	}
+}
+
+func TestCrashedReplicaRefusesSubmits(t *testing.T) {
+	s, c := newTestCluster(9, 2)
+	c.Net().SetUp("r0", false)
+	res := submit(t, s, c, 0, "credit", "a", 1, policy.AlwaysAsync())
+	if res.Accepted {
+		t.Fatal("crashed replica accepted a submit")
+	}
+	if res.Reason != "replica down" {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestCrashedReplicaCatchesUpAfterRestart(t *testing.T) {
+	s, c := newTestCluster(10, 3)
+	c.Net().SetUp("r2", false)
+	submit(t, s, c, 0, "credit", "a", 42, policy.AlwaysAsync())
+	c.GossipRound()
+	s.Run()
+	c.Net().SetUp("r2", true)
+	for r := 0; r < 3 && !c.Converged(); r++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("restarted replica never caught up")
+	}
+	if c.Replica(2).State()["a"] != 42 {
+		t.Fatal("restarted replica state wrong")
+	}
+}
+
+func TestLedgerRecordsGuessesAndMemories(t *testing.T) {
+	s, c := newTestCluster(11, 2)
+	submit(t, s, c, 0, "credit", "a", 1, policy.AlwaysAsync())
+	rep := c.Replica(0)
+	if rep.Ledger.Count(1) != 1 { // apology.Guess
+		t.Fatalf("guesses = %d, want 1", rep.Ledger.Count(1))
+	}
+	if rep.Ledger.Count(0) != 1 { // apology.Memory
+		t.Fatalf("memories = %d, want 1", rep.Ledger.Count(0))
+	}
+	c.GossipRound()
+	s.Run()
+	other := c.Replica(1)
+	if other.Ledger.Count(0) != 1 {
+		t.Fatal("gossiped op not recorded as memory at peer")
+	}
+	if other.Ledger.Count(1) != 0 {
+		t.Fatal("peer recorded a guess it never made")
+	}
+}
+
+func TestGossipIncrementalTransfer(t *testing.T) {
+	s, c := newTestCluster(12, 2)
+	submit(t, s, c, 0, "credit", "a", 1, policy.AlwaysAsync())
+	c.GossipRound()
+	s.Run()
+	moved := c.M.OpsTransferred.Value()
+	// A second round with nothing new must not resend the op.
+	c.GossipRound()
+	s.Run()
+	if c.M.OpsTransferred.Value() != moved {
+		t.Fatalf("idle gossip re-transferred ops: %d -> %d", moved, c.M.OpsTransferred.Value())
+	}
+}
+
+// TestPropConvergenceUnderRandomGossip: any op mix at any replicas, any
+// random gossip schedule — once quiesced and fully gossiped, all replicas
+// agree and the balance equals credits minus debits.
+func TestPropConvergenceUnderRandomGossip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, c := newTestCluster(seed, 3)
+		var want int64
+		for i := 0; i < 20; i++ {
+			rep := r.Intn(3)
+			arg := int64(r.Intn(50))
+			kind := "credit"
+			if r.Intn(2) == 0 {
+				kind = "debit"
+			}
+			c.Submit(rep, kind, "acct", arg, "", policy.AlwaysAsync(), func(Result) {})
+			if kind == "credit" {
+				want += arg
+			} else {
+				want -= arg
+			}
+			if r.Intn(3) == 0 {
+				c.GossipRound()
+			}
+			s.Run()
+		}
+		for i := 0; i < 6 && !c.Converged(); i++ {
+			c.GossipRound()
+			s.Run()
+		}
+		if !c.Converged() {
+			return false
+		}
+		for _, st := range c.States() {
+			if st["acct"] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartGossipPeriodic(t *testing.T) {
+	s, c := newTestCluster(13, 3)
+	submit(t, s, c, 0, "credit", "a", 1, policy.AlwaysAsync())
+	stop := c.StartGossip(10 * time.Millisecond)
+	s.RunFor(100 * time.Millisecond)
+	stop()
+	s.Run()
+	if !c.Converged() {
+		t.Fatal("periodic gossip did not converge")
+	}
+	if c.M.GossipRounds.Value() == 0 {
+		t.Fatal("no gossip rounds counted")
+	}
+}
+
+func TestSubmitOpIdempotentRetry(t *testing.T) {
+	s, c := newTestCluster(20, 2)
+	op := oplog.Entry{ID: "check-42", Kind: "credit", Key: "acct", Arg: 10}
+	var first, second Result
+	c.SubmitOp(0, op, policy.AlwaysAsync(), func(r Result) { first = r })
+	s.Run()
+	// The same uniquified op presented again (a client retry) must be
+	// accepted without double-applying.
+	c.SubmitOp(0, op, policy.AlwaysAsync(), func(r Result) { second = r })
+	s.Run()
+	if !first.Accepted || !second.Accepted {
+		t.Fatalf("accepted = %v/%v", first.Accepted, second.Accepted)
+	}
+	if c.Replica(0).OpCount() != 1 {
+		t.Fatalf("op recorded %d times", c.Replica(0).OpCount())
+	}
+	if c.Replica(0).State()["acct"] != 10 {
+		t.Fatalf("state = %v, double-applied", c.Replica(0).State())
+	}
+}
+
+func TestLamportOrderMakesCausesFoldFirst(t *testing.T) {
+	// A replica that sees a credit and then accepts a debit must fold the
+	// credit first at EVERY replica, even one that receives them in the
+	// same gossip batch — the Lamport ingress stamp carries the causality.
+	s, c := newTestCluster(21, 2, noOverdraft())
+	if !submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysAsync()).Accepted {
+		t.Fatal("credit declined")
+	}
+	if !submit(t, s, c, 0, "debit", "acct", 60, policy.AlwaysAsync()).Accepted {
+		t.Fatal("debit declined")
+	}
+	for i := 0; i < 2; i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	// If the debit folded before the credit anywhere, the no-overdraft
+	// sweep would have flagged a (spurious) violation.
+	if c.Apologies.Total() != 0 {
+		t.Fatalf("spurious violations: %d — causality lost in fold order", c.Apologies.Total())
+	}
+	op0 := c.Replica(1).Ops().Entries()
+	if op0[0].Kind != "credit" || op0[1].Kind != "debit" {
+		t.Fatalf("fold order at peer = %s,%s", op0[0].Kind, op0[1].Kind)
+	}
+}
+
+func TestSyncDeclinedByRemoteAdmit(t *testing.T) {
+	// r1 knows about a debit that makes the coordinated op violate; the
+	// sync path must surface the remote refusal.
+	s, c := newTestCluster(22, 2, noOverdraft())
+	submit(t, s, c, 1, "credit", "acct", 50, policy.AlwaysAsync())
+	// r0 (balance unknown = 0 locally) tries a coordinated debit of 40:
+	// its own Admit refuses first (local state empty).
+	res := submit(t, s, c, 0, "debit", "acct", 40, policy.AlwaysSync())
+	if res.Accepted {
+		t.Fatal("debit accepted with empty local state")
+	}
+	// Now seed r0 so local admit passes but remote would overdraw.
+	submit(t, s, c, 0, "credit", "acct", 100, policy.AlwaysAsync())
+	submit(t, s, c, 1, "debit", "acct", 50, policy.AlwaysAsync()) // r1 balance now 0
+	res = submit(t, s, c, 0, "debit", "acct", 80, policy.AlwaysSync())
+	if res.Accepted {
+		t.Fatal("remote replica should have refused (its view: 0 - 80 < 0)")
+	}
+	if res.Reason == "" || res.Decision != policy.Sync {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestDerivedWorkDedupedByUniquifier reproduces §5.4's "irrational
+// exuberance": processing a purchase order stimulates scheduling a
+// shipment; two replicas may both get enthusiastic, but deriving the
+// shipment's uniquifier from the order's identity makes the duplicate
+// "identified as the knowledge sloshes through the network."
+func TestDerivedWorkDedupedByUniquifier(t *testing.T) {
+	s, c := newTestCluster(30, 2)
+	po := oplog.Entry{ID: "po-123", Kind: "credit", Key: "orders", Arg: 1}
+	c.SubmitOp(0, po, policy.AlwaysAsync(), func(Result) {})
+	s.Run()
+	c.GossipRound()
+	s.Run()
+
+	// BOTH replicas react to the purchase order by scheduling a shipment.
+	// The shipment op's ID is functionally dependent on the order's —
+	// not freshly generated — so the two submissions are one operation.
+	shipID := "po-123/shipment"
+	for rep := 0; rep < 2; rep++ {
+		c.SubmitOp(rep, oplog.Entry{ID: uniq.ID(shipID), Kind: "credit", Key: "shipments", Arg: 1},
+			policy.AlwaysAsync(), func(r Result) {
+				if !r.Accepted {
+					t.Errorf("replica %d shipment refused", rep)
+				}
+			})
+		s.Run()
+	}
+	for i := 0; i < 3 && !c.Converged(); i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	for i, st := range c.States() {
+		if st["shipments"] != 1 {
+			t.Fatalf("replica %d scheduled %d shipments, want exactly 1", i, st["shipments"])
+		}
+	}
+}

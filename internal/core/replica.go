@@ -1,0 +1,213 @@
+package core
+
+import (
+	"repro/internal/apology"
+	"repro/internal/oplog"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/simnet"
+	"repro/internal/uniq"
+)
+
+// Wire messages.
+type (
+	pushReq struct {
+		From    string
+		Entries []oplog.Entry
+	}
+	pushAck  struct{ OK bool }
+	admitReq struct{ Op oplog.Entry }
+	admitAck struct{ OK bool }
+	applyReq struct{ Op oplog.Entry }
+)
+
+// Replica is one eventually consistent copy of the application. Its
+// operation set survives crashes (the disk does); a crashed replica simply
+// stops talking until revived.
+type Replica[S any] struct {
+	c   *Cluster[S]
+	id  string
+	ep  *rpc.Endpoint
+	gen *uniq.Gen
+
+	ops     *oplog.Set
+	journal []oplog.Entry  // arrival order, for incremental gossip
+	sentTo  map[string]int // journal prefix acked by each peer
+	lamport uint64         // highest Lamport timestamp seen
+
+	state      S
+	stateDirty bool
+
+	Ledger apology.Ledger // this replica's memories, guesses, apologies
+}
+
+func newReplica[S any](c *Cluster[S], id string) *Replica[S] {
+	r := &Replica[S]{
+		c:      c,
+		id:     id,
+		gen:    uniq.NewGen(id),
+		ops:    oplog.NewSet(),
+		sentTo: make(map[string]int),
+		state:  c.app.Init(),
+	}
+	r.ep = rpc.NewEndpoint(c.net, simnet.NodeID(id), c.cfg.CallTimeout)
+	r.ep.Handle("push", r.handlePush)
+	r.ep.Handle("admit", r.handleAdmit)
+	r.ep.Handle("apply", r.handleApply)
+	return r
+}
+
+// ID returns the replica's name.
+func (r *Replica[S]) ID() string { return r.id }
+
+// OpCount reports how many distinct operations this replica has seen.
+func (r *Replica[S]) OpCount() int { return r.ops.Len() }
+
+// Ops returns a copy of the replica's operation set.
+func (r *Replica[S]) Ops() *oplog.Set { return r.ops.Copy() }
+
+// State derives (and caches) the application state by folding the
+// operation set in canonical order.
+func (r *Replica[S]) State() S {
+	if r.stateDirty {
+		r.state = oplog.Fold(r.ops, r.c.app.Init(), r.c.app.Step)
+		r.stateDirty = false
+	}
+	return r.state
+}
+
+// absorb unions entries into the set, updates the ledger, and sweeps for
+// newly exposed rule violations. It returns how many entries were new.
+func (r *Replica[S]) absorb(entries []oplog.Entry, how string) int {
+	added := 0
+	for _, e := range entries {
+		if r.ops.Add(e) {
+			added++
+			if e.Lam > r.lamport {
+				r.lamport = e.Lam
+			}
+			r.journal = append(r.journal, e)
+			r.Ledger.Record(r.c.s.Now(), apology.Memory, r.id, how+" "+e.Kind+" "+e.Key, e.ID)
+		}
+	}
+	if added > 0 {
+		r.stateDirty = true
+		r.sweepViolations()
+	}
+	return added
+}
+
+// sweepViolations evaluates every rule's Violated check against the
+// current state; new violations become apologies. The queue dedupes by
+// content, so the same overdraft found at three replicas is one apology.
+func (r *Replica[S]) sweepViolations() {
+	state := r.State()
+	for _, rule := range r.c.rules {
+		if rule.Violated == nil {
+			continue
+		}
+		for _, v := range rule.Violated(state) {
+			a := apology.NewApology(rule.Name, v.Detail, v.Amount, r.id)
+			a.Key = v.Key
+			if r.c.Apologies.Submit(a) {
+				r.Ledger.Record(r.c.s.Now(), apology.Regret, r.id, rule.Name+": "+v.Detail, a.ID)
+			}
+		}
+	}
+}
+
+// submitLocal is the async path: admit against the local guess, record,
+// move on. The guess is remembered in the ledger.
+func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
+	state := r.State()
+	for _, rule := range r.c.rules {
+		if rule.Admit != nil && !rule.Admit(state, op) {
+			return Result{Op: op, Reason: "declined by rule " + rule.Name}
+		}
+	}
+	r.absorb([]oplog.Entry{op}, "local")
+	r.Ledger.Record(r.c.s.Now(), apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
+	return Result{Accepted: true, Op: op, Decision: policy.Async}
+}
+
+// submitSync is the coordinated path of §5.8: ask every replica to admit
+// the operation against its state, and only accept when all of them —
+// reachable and willing — agree. Any silence or refusal declines the
+// operation; being conservative is the point of paying for coordination.
+func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
+	// Local admission first.
+	state := r.State()
+	for _, rule := range r.c.rules {
+		if rule.Admit != nil && !rule.Admit(state, op) {
+			done(Result{Op: op, Reason: "declined by rule " + rule.Name, Decision: policy.Sync})
+			return
+		}
+	}
+	var peers []simnet.NodeID
+	for _, other := range r.c.reps {
+		if other != r {
+			peers = append(peers, other.ep.ID())
+		}
+	}
+	r.ep.Broadcast(peers, "admit", admitReq{Op: op}, func(resps []any, oks int) {
+		if oks != len(peers) {
+			done(Result{Op: op, Reason: "coordination failed: replica unreachable", Decision: policy.Sync})
+			return
+		}
+		for _, resp := range resps {
+			if !resp.(admitAck).OK {
+				done(Result{Op: op, Reason: "declined by a remote replica", Decision: policy.Sync})
+				return
+			}
+		}
+		// All agreed: apply everywhere synchronously, then ack.
+		r.absorb([]oplog.Entry{op}, "sync")
+		r.ep.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
+			done(Result{Accepted: true, Op: op, Decision: policy.Sync})
+		})
+	})
+}
+
+// pushTo sends the journal suffix the peer has not acknowledged, and asks
+// the peer to reciprocate — one push-pull pair of an anti-entropy round.
+func (r *Replica[S]) pushTo(peer string) {
+	from := r.sentTo[peer]
+	entries := append([]oplog.Entry(nil), r.journal[from:]...)
+	end := len(r.journal)
+	r.c.M.OpsTransferred.Addn(int64(len(entries)))
+	r.ep.Call(simnet.NodeID(peer), "push", pushReq{From: r.id, Entries: entries}, func(resp any, ok bool) {
+		if ok && resp.(pushAck).OK {
+			if end > r.sentTo[peer] {
+				r.sentTo[peer] = end
+			}
+		}
+	})
+}
+
+func (r *Replica[S]) handlePush(from simnet.NodeID, req any, reply func(any)) {
+	p := req.(pushReq)
+	r.absorb(p.Entries, "gossip")
+	reply(pushAck{OK: true})
+	// Reciprocate if this replica knows things the pusher might not.
+	if r.sentTo[p.From] < len(r.journal) {
+		r.pushTo(p.From)
+	}
+}
+
+func (r *Replica[S]) handleAdmit(from simnet.NodeID, req any, reply func(any)) {
+	a := req.(admitReq)
+	state := r.State()
+	for _, rule := range r.c.rules {
+		if rule.Admit != nil && !rule.Admit(state, a.Op) {
+			reply(admitAck{OK: false})
+			return
+		}
+	}
+	reply(admitAck{OK: true})
+}
+
+func (r *Replica[S]) handleApply(from simnet.NodeID, req any, reply func(any)) {
+	a := req.(applyReq)
+	r.absorb([]oplog.Entry{a.Op}, "sync")
+	reply(pushAck{OK: true})
+}

@@ -1,0 +1,79 @@
+package dynamo
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestPropNoAckedWriteLostUnderChurn: whatever the crash schedule, every
+// acknowledged write to a distinct key is readable after the cluster
+// heals and anti-entropy runs — the paper's availability-over-consistency
+// store still never loses what it acknowledged (W copies survive, and at
+// least one lives through single-node churn).
+func TestPropNoAckedWriteLostUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, merkleMode := range []bool{false, true} {
+			s, c := newCluster(seed, Config{Nodes: 5, N: 3, R: 2, W: 2, MerkleSync: merkleMode})
+			r := s.Rand()
+			acked := map[string]string{}
+
+			// One node at a time bounces; W=2 always has a survivor.
+			nodes := c.Nodes()
+			for round := 0; round < 8; round++ {
+				victim := nodes[r.Intn(len(nodes))]
+				at := time.Duration(round*20+r.Intn(10)) * time.Millisecond
+				s.After(at, func() { c.SetUp(victim, false) })
+				s.After(at+15*time.Millisecond, func() { c.SetUp(victim, true) })
+			}
+			for i := 0; i < 60; i++ {
+				i := i
+				s.After(time.Duration(i*3)*time.Millisecond, func() {
+					key, val := fmt.Sprintf("key-%04d", i), fmt.Sprintf("v%d", i)
+					c.Put(key, val, vclock.New(), fmt.Sprintf("actor-%d", i), func(ok bool) {
+						if ok {
+							acked[key] = val
+						}
+					})
+				})
+			}
+			s.Run()
+			for _, id := range nodes {
+				c.SetUp(id, true)
+			}
+			s.Run()
+			for i := 0; i < 5; i++ {
+				c.AntiEntropyRound()
+				s.Run()
+			}
+
+			lost := 0
+			for key, want := range acked {
+				k, w := key, want
+				c.Get(k, func(versions []Version, _ vclock.VC, ok bool) {
+					found := false
+					for _, v := range versions {
+						if v.Value == w {
+							found = true
+						}
+					}
+					if !ok || !found {
+						lost++
+					}
+				})
+				s.Run()
+			}
+			if lost != 0 {
+				t.Logf("seed=%d merkle=%v lost=%d of %d acked", seed, merkleMode, lost, len(acked))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

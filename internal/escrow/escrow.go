@@ -1,0 +1,207 @@
+// Package escrow implements the escrow transactional method of O'Neil
+// (1986), described in the paper's §5.3 sidebar: commutative addition and
+// subtraction on a hot value interleave freely as long as the worst-case
+// outcome of all pending transactions stays inside the business
+// constraint. Changes are operation-logged ("Transaction T1 subtracted
+// $10") so an abort is a logical undo, not a before-image restore.
+//
+// "If any transaction dares to READ the value, that does not commute, is
+// annoying, and stops other concurrent work" — Read here refuses while any
+// operation is pending.
+//
+// An exclusive-lock Mutex is provided as the classic baseline the E7
+// experiment compares against.
+package escrow
+
+import "fmt"
+
+// OpRecord is one operation-log line.
+type OpRecord struct {
+	Txn   uint64
+	Delta int64
+	What  string // "reserve", "commit", "abort"
+}
+
+// Account is an escrow-locked quantity with a [Min, Max] constraint. The
+// zero value is not usable; construct with NewAccount.
+type Account struct {
+	val      int64
+	min, max int64
+
+	pending   map[uint64]int64 // reserved deltas by transaction
+	sumPlus   int64            // sum of positive pending deltas
+	sumMinus  int64            // sum of negative pending deltas (<= 0)
+	nextTxn   uint64
+	log       []OpRecord
+	waiters   []waiter // reservations blocked on bounds
+	conflicts int      // reservations that had to wait or were refused
+}
+
+type waiter struct {
+	delta int64
+	done  func(txn uint64)
+}
+
+// NewAccount returns an account holding initial, constrained to
+// [min, max]. It panics if initial is already out of bounds — a
+// misconfigured experiment, not a runtime condition.
+func NewAccount(initial, min, max int64) *Account {
+	if initial < min || initial > max {
+		panic(fmt.Sprintf("escrow: initial %d outside [%d,%d]", initial, min, max))
+	}
+	return &Account{val: initial, min: min, max: max, pending: make(map[uint64]int64)}
+}
+
+// Value returns the committed value. It ignores pending work and is safe
+// for monitoring; transactional reads go through Read.
+func (a *Account) Value() int64 { return a.val }
+
+// Pending reports the number of in-flight transactions.
+func (a *Account) Pending() int { return len(a.pending) }
+
+// Conflicts reports how many reservations could not proceed immediately.
+func (a *Account) Conflicts() int { return a.conflicts }
+
+// Log returns the operation log.
+func (a *Account) Log() []OpRecord { return append([]OpRecord(nil), a.log...) }
+
+// fits reports whether one more delta keeps the worst case in bounds:
+// every pending subtraction might commit (low water) and every pending
+// addition might commit (high water).
+func (a *Account) fits(delta int64) bool {
+	low, high := a.sumMinus, a.sumPlus
+	if delta < 0 {
+		low += delta
+	} else {
+		high += delta
+	}
+	return a.val+low >= a.min && a.val+high <= a.max
+}
+
+// TryReserve attempts to reserve delta immediately. On success it returns
+// the transaction ID; on failure (the worst case might break the bounds)
+// it returns ok=false without queueing.
+func (a *Account) TryReserve(delta int64) (txn uint64, ok bool) {
+	if !a.fits(delta) {
+		a.conflicts++
+		return 0, false
+	}
+	a.nextTxn++
+	txn = a.nextTxn
+	a.pending[txn] = delta
+	if delta < 0 {
+		a.sumMinus += delta
+	} else {
+		a.sumPlus += delta
+	}
+	a.log = append(a.log, OpRecord{Txn: txn, Delta: delta, What: "reserve"})
+	return txn, true
+}
+
+// Reserve reserves delta, queueing until the worst case allows it. done
+// receives the transaction ID once the reservation holds.
+func (a *Account) Reserve(delta int64, done func(txn uint64)) {
+	if txn, ok := a.TryReserve(delta); ok {
+		done(txn)
+		return
+	}
+	a.waiters = append(a.waiters, waiter{delta: delta, done: done})
+}
+
+// Commit applies the reserved delta. Committing an unknown transaction
+// panics: the operation log would be incoherent.
+func (a *Account) Commit(txn uint64) {
+	delta := a.mustTake(txn)
+	a.val += delta
+	a.log = append(a.log, OpRecord{Txn: txn, Delta: delta, What: "commit"})
+	a.drain()
+}
+
+// Abort releases the reservation: the logical undo of operation logging —
+// "the system would add $10 rather than restore the value" — which for an
+// uncommitted escrow reservation means simply dropping the pending delta.
+func (a *Account) Abort(txn uint64) {
+	delta := a.mustTake(txn)
+	a.log = append(a.log, OpRecord{Txn: txn, Delta: delta, What: "abort"})
+	a.drain()
+}
+
+func (a *Account) mustTake(txn uint64) int64 {
+	delta, ok := a.pending[txn]
+	if !ok {
+		panic(fmt.Sprintf("escrow: unknown txn %d", txn))
+	}
+	delete(a.pending, txn)
+	if delta < 0 {
+		a.sumMinus -= delta
+	} else {
+		a.sumPlus -= delta
+	}
+	return delta
+}
+
+// drain admits queued reservations that now fit, in arrival order. A
+// blocked head does not block later waiters that fit (no convoy).
+func (a *Account) drain() {
+	remaining := a.waiters[:0]
+	for _, w := range a.waiters {
+		if txn, ok := a.TryReserve(w.delta); ok {
+			w.done(txn)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	a.waiters = remaining
+}
+
+// Read returns the exact value, but only when nothing is pending — a READ
+// does not commute with in-flight escrow work. ok=false means the read
+// would have blocked.
+func (a *Account) Read() (int64, bool) {
+	if len(a.pending) > 0 {
+		a.conflicts++
+		return 0, false
+	}
+	return a.val, true
+}
+
+// Bounds returns the guaranteed interval for the value given pending
+// work: [committed + pending subtractions, committed + pending additions].
+// Unlike Read, Bounds commutes with everything.
+func (a *Account) Bounds() (low, high int64) {
+	return a.val + a.sumMinus, a.val + a.sumPlus
+}
+
+// Mutex is the exclusive-lock baseline: one holder at a time, FIFO queue.
+// The zero value is ready to use.
+type Mutex struct {
+	held  bool
+	queue []func()
+	waits int
+}
+
+// Acquire runs fn as soon as the lock is free (immediately if uncontended).
+// fn must eventually lead to a Release call.
+func (m *Mutex) Acquire(fn func()) {
+	if m.held {
+		m.waits++
+		m.queue = append(m.queue, fn)
+		return
+	}
+	m.held = true
+	fn()
+}
+
+// Release frees the lock and admits the next waiter, if any.
+func (m *Mutex) Release() {
+	if len(m.queue) > 0 {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		next()
+		return
+	}
+	m.held = false
+}
+
+// Waits reports how many acquisitions had to queue.
+func (m *Mutex) Waits() int { return m.waits }

@@ -1,0 +1,300 @@
+package escrow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveCommitMovesValue(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	txn, ok := a.TryReserve(-30)
+	if !ok {
+		t.Fatal("reserve refused")
+	}
+	if a.Value() != 100 {
+		t.Fatal("value moved before commit")
+	}
+	a.Commit(txn)
+	if a.Value() != 70 {
+		t.Fatalf("value = %d, want 70", a.Value())
+	}
+}
+
+func TestAbortIsLogicalUndo(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	txn, _ := a.TryReserve(-30)
+	a.Abort(txn)
+	if a.Value() != 100 {
+		t.Fatalf("value = %d after abort, want 100", a.Value())
+	}
+	if a.Pending() != 0 {
+		t.Fatal("pending not cleared by abort")
+	}
+}
+
+func TestConcurrentCommutativeOpsInterleave(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	t1, ok1 := a.TryReserve(-20)
+	t2, ok2 := a.TryReserve(50)
+	t3, ok3 := a.TryReserve(-20)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("commutative ops within bounds must all be admitted concurrently")
+	}
+	if a.Pending() != 3 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+	// Commit in a different order than reserved.
+	a.Commit(t3)
+	a.Commit(t1)
+	a.Commit(t2)
+	if a.Value() != 110 {
+		t.Fatalf("value = %d, want 110", a.Value())
+	}
+}
+
+func TestWorstCaseGuardsLowerBound(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	if _, ok := a.TryReserve(-60); !ok {
+		t.Fatal("first -60 must fit")
+	}
+	// Another -60 MIGHT take the value to -20: must be refused even
+	// though the committed value is still 100.
+	if _, ok := a.TryReserve(-60); ok {
+		t.Fatal("second -60 admitted; worst case violates min")
+	}
+	if a.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d", a.Conflicts())
+	}
+}
+
+func TestWorstCaseGuardsUpperBound(t *testing.T) {
+	a := NewAccount(900, 0, 1000)
+	if _, ok := a.TryReserve(80); !ok {
+		t.Fatal("+80 must fit")
+	}
+	if _, ok := a.TryReserve(80); ok {
+		t.Fatal("second +80 admitted; worst case breaches max")
+	}
+}
+
+func TestOppositeSignsDoNotFalselyConflict(t *testing.T) {
+	// Pending +X must not make room for -Y: worst cases are evaluated
+	// independently (the + may abort).
+	a := NewAccount(50, 0, 1000)
+	if _, ok := a.TryReserve(100); !ok {
+		t.Fatal("+100 fits")
+	}
+	if _, ok := a.TryReserve(-60); ok {
+		t.Fatal("-60 admitted only because a pending +100 might commit; must refuse")
+	}
+}
+
+func TestQueuedReservationAdmittedAfterCommit(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	t1, _ := a.TryReserve(-80)
+	var got uint64
+	a.Reserve(-80, func(txn uint64) { got = txn })
+	if got != 0 {
+		t.Fatal("blocked reservation granted immediately")
+	}
+	a.Commit(t1) // value 20... still cannot fit -80
+	if got != 0 {
+		t.Fatal("reservation granted though bounds still fail")
+	}
+	t3, _ := a.TryReserve(90)
+	a.Commit(t3) // value 110: -80 fits now
+	if got == 0 {
+		t.Fatal("queued reservation never admitted")
+	}
+	a.Commit(got)
+	if a.Value() != 30 {
+		t.Fatalf("value = %d, want 30", a.Value())
+	}
+}
+
+func TestQueueNoConvoy(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	t1, _ := a.TryReserve(-90)
+	blockedBig := false
+	a.Reserve(-90, func(uint64) { blockedBig = true }) // worst case -180: must queue
+	// A small op that fits (worst case 100-90-5 = 5 >= 0) is admitted
+	// immediately — it does not convoy behind the queued big one.
+	smallGranted := false
+	a.Reserve(-5, func(txn uint64) { smallGranted = true; a.Commit(txn) })
+	if !smallGranted {
+		t.Fatal("small fitting reservation convoyed behind a queued big one")
+	}
+	if blockedBig {
+		t.Fatal("big reservation admitted while bounds forbid it")
+	}
+	a.Abort(t1) // frees 90: the queued -90 now fits (95-90 = 5 >= 0)
+	if !blockedBig {
+		t.Fatal("queued reservation not admitted after abort freed capacity")
+	}
+}
+
+func TestReadBlocksWithPendingWork(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	if _, ok := a.Read(); !ok {
+		t.Fatal("read with no pending work must succeed")
+	}
+	txn, _ := a.TryReserve(-10)
+	if _, ok := a.Read(); ok {
+		t.Fatal("READ does not commute; must refuse with pending work")
+	}
+	a.Commit(txn)
+	if v, ok := a.Read(); !ok || v != 90 {
+		t.Fatalf("read = %d,%v", v, ok)
+	}
+}
+
+func TestBoundsAlwaysAvailable(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	a.TryReserve(-10)
+	a.TryReserve(25)
+	low, high := a.Bounds()
+	if low != 90 || high != 125 {
+		t.Fatalf("bounds = [%d,%d], want [90,125]", low, high)
+	}
+}
+
+func TestOperationLogRecordsHistory(t *testing.T) {
+	a := NewAccount(100, 0, 1000)
+	txn, _ := a.TryReserve(-10)
+	a.Commit(txn)
+	log := a.Log()
+	if len(log) != 2 || log[0].What != "reserve" || log[1].What != "commit" || log[1].Delta != -10 {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestUnknownTxnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Commit of unknown txn did not panic")
+		}
+	}()
+	NewAccount(0, 0, 10).Commit(99)
+}
+
+func TestNewAccountOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds initial did not panic")
+		}
+	}()
+	NewAccount(-1, 0, 10)
+}
+
+// TestPropInvariantNeverViolated drives random reserve/commit/abort
+// traffic and checks the committed value never leaves [min,max] — the
+// escrow guarantee.
+func TestPropInvariantNeverViolated(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewAccount(50, 0, 100)
+		var open []uint64
+		for i := 0; i < 200; i++ {
+			switch r.Intn(3) {
+			case 0:
+				delta := int64(r.Intn(61) - 30)
+				if txn, ok := a.TryReserve(delta); ok {
+					open = append(open, txn)
+				}
+			case 1:
+				if len(open) > 0 {
+					i := r.Intn(len(open))
+					a.Commit(open[i])
+					open = append(open[:i], open[i+1:]...)
+				}
+			case 2:
+				if len(open) > 0 {
+					i := r.Intn(len(open))
+					a.Abort(open[i])
+					open = append(open[:i], open[i+1:]...)
+				}
+			}
+			if a.Value() < 0 || a.Value() > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropFinalValueOrderIndependent: the same multiset of committed
+// deltas yields the same final value regardless of commit order —
+// commutativity, the C of ACID 2.0.
+func TestPropFinalValueOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		deltas := make([]int64, 8)
+		for i := range deltas {
+			deltas[i] = int64(r.Intn(21) - 10)
+		}
+		run := func(order []int) (int64, bool) {
+			a := NewAccount(500, 0, 1000)
+			txns := make([]uint64, len(deltas))
+			for i, d := range deltas {
+				txn, ok := a.TryReserve(d)
+				if !ok {
+					return 0, false
+				}
+				txns[i] = txn
+			}
+			for _, i := range order {
+				a.Commit(txns[i])
+			}
+			return a.Value(), true
+		}
+		fwd := make([]int, len(deltas))
+		for i := range fwd {
+			fwd[i] = i
+		}
+		v1, ok1 := run(fwd)
+		v2, ok2 := run(r.Perm(len(deltas)))
+		return ok1 == ok2 && (!ok1 || v1 == v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexSerializes(t *testing.T) {
+	var m Mutex
+	order := []int{}
+	m.Acquire(func() { order = append(order, 1) })
+	m.Acquire(func() { order = append(order, 2) }) // queues
+	m.Acquire(func() { order = append(order, 3) }) // queues
+	if len(order) != 1 {
+		t.Fatalf("lock admitted %d holders", len(order))
+	}
+	m.Release()
+	m.Release()
+	m.Release()
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if m.Waits() != 2 {
+		t.Fatalf("waits = %d", m.Waits())
+	}
+}
+
+func TestMutexUncontendedImmediate(t *testing.T) {
+	var m Mutex
+	ran := false
+	m.Acquire(func() { ran = true })
+	if !ran {
+		t.Fatal("uncontended acquire deferred")
+	}
+	m.Release()
+	ran2 := false
+	m.Acquire(func() { ran2 = true })
+	if !ran2 {
+		t.Fatal("lock not actually released")
+	}
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tandem"
+)
+
+// tandemKV mirrors the write driver used by the tandem tests: one
+// transaction with the given writes, then commit.
+func tandemTxn(sys *tandem.System, keys []string, val string, done func(committed bool)) {
+	t := sys.Begin()
+	var step func(i int)
+	step = func(i int) {
+		if i == len(keys) {
+			t.Commit(done)
+			return
+		}
+		t.Write(keys[i], val, func(ok bool) {
+			if !ok {
+				t.Abort()
+				done(false)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// E1TandemCheckpointCost reproduces §3.2's performance claim as a sweep
+// over writes per transaction.
+func E1TandemCheckpointCost() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Tandem DP1 (1984) vs DP2 (1986): checkpoint cost per WRITE",
+		Claim: `§3.2: "A WRITE to DP2 could be performed without checkpointing to the backup. This was a dramatic savings in CPU cost and an even more dramatic savings in latency."`,
+		Run: func(seed int64) *stats.Table {
+			tab := stats.NewTable("E1 — per-WRITE checkpointing vs log-based checkpointing",
+				"DP1 checkpoints each WRITE synchronously; DP2 acks immediately and group-flushes the log.",
+				"mode", "writes/txn", "write p50", "write p99", "txn mean", "ckpt msgs/txn", "write-ckpts/txn", "bus msgs/txn")
+			const txns = 400
+			for _, mode := range []tandem.Mode{tandem.DP1, tandem.DP2} {
+				for _, writes := range []int{1, 2, 4, 8} {
+					s := sim.New(seed)
+					sys := tandem.New(s, tandem.Config{Mode: mode, NumDP: 4})
+					committed := 0
+					var launch func(i int)
+					launch = func(i int) {
+						if i == txns {
+							return
+						}
+						keys := make([]string, writes)
+						for w := range keys {
+							keys[w] = fmt.Sprintf("k-%d-%d", i, w)
+						}
+						tandemTxn(sys, keys, "v", func(ok bool) {
+							if ok {
+								committed++
+							}
+							launch(i + 1)
+						})
+					}
+					launch(0)
+					s.Run()
+					if committed != txns {
+						panic(fmt.Sprintf("E1: %d/%d committed", committed, txns))
+					}
+					m := &sys.M
+					net := sys.Net().Counters()
+					tab.AddRow(mode.String(), fmt.Sprint(writes),
+						stats.Dur(m.WriteLat.P50()), stats.Dur(m.WriteLat.P99()),
+						stats.Dur(m.TxnLat.Mean()),
+						stats.F(float64(m.CheckpointMsgs.Value())/float64(txns), 2),
+						stats.F(float64(m.WriteCkptMsgs.Value())/float64(txns), 2),
+						stats.F(float64(net.Sent)/float64(txns), 1))
+				}
+			}
+			return tab
+		},
+	}
+}
+
+// E2TandemFailover reproduces §3.2–3.3's failover semantics under
+// repeated primary crashes.
+func E2TandemFailover() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Tandem failover semantics: aborted in-flight work vs lost committed work",
+		Claim: `§3.2: "the system automatically aborts any relevant in-flight transactions when the primary DP fails, correctness is preserved" — committed work must never be lost; §3.3 calls the extra aborts "an acceptable erosion of behavior."`,
+		Run: func(seed int64) *stats.Table {
+			tab := stats.NewTable("E2 — primary DP crashes during load",
+				"Crash a primary every 20 txns, restart its peer 30ms later; audit committed data at the end.",
+				"mode", "attempted", "committed", "failover aborts", "other aborts", "committed lost")
+			const txns = 300
+			for _, mode := range []tandem.Mode{tandem.DP1, tandem.DP2} {
+				s := sim.New(seed)
+				sys := tandem.New(s, tandem.Config{Mode: mode, NumDP: 2})
+				committed := map[string]string{}
+				attempted := 0
+				var launch func(i int)
+				launch = func(i int) {
+					if i == txns {
+						return
+					}
+					attempted++
+					key, val := fmt.Sprintf("key-%04d", i), fmt.Sprintf("v%d", i)
+					tandemTxn(sys, []string{key}, val, func(ok bool) {
+						if ok {
+							committed[key] = val
+						}
+						launch(i + 1)
+					})
+					if i%20 == 7 {
+						pair := (i / 20) % 2
+						s.After(0, func() { sys.CrashPrimary(pair) })
+						s.After(30*time.Millisecond, func() { sys.RestartBackup(pair) })
+					}
+				}
+				launch(0)
+				s.Run()
+
+				lost := 0
+				for key, want := range committed {
+					k, w := key, want
+					sys.Read(k, func(v string, ok bool) {
+						if !ok || v != w {
+							lost++
+						}
+					})
+				}
+				s.Run()
+				m := &sys.M
+				other := m.Aborts.Value() - m.FailoverAborts.Value()
+				tab.AddRow(mode.String(), fmt.Sprint(attempted), fmt.Sprint(len(committed)),
+					fmt.Sprint(m.FailoverAborts.Value()), fmt.Sprint(other), fmt.Sprint(lost))
+			}
+			return tab
+		},
+	}
+}

@@ -1,0 +1,166 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func items(n int, prefix string) map[string]string {
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%s-%04d", prefix, i)
+		m[k] = "v" + k
+	}
+	return m
+}
+
+func TestIdenticalContentsIdenticalRoots(t *testing.T) {
+	a := Build(8, items(100, "k"))
+	b := Build(8, items(100, "k"))
+	if a.Root() != b.Root() {
+		t.Fatal("same items, different roots")
+	}
+	diff, _ := DiffLeaves(a, b)
+	if len(diff) != 0 {
+		t.Fatalf("diff = %v on identical trees", diff)
+	}
+}
+
+func TestEmptyTrees(t *testing.T) {
+	a := Build(4, nil)
+	b := Build(4, map[string]string{})
+	if a.Root() != b.Root() {
+		t.Fatal("empty trees differ")
+	}
+	if a.Root() != (Digest{}) {
+		t.Fatal("empty tree has non-zero root")
+	}
+}
+
+func TestSingleChangedValueFound(t *testing.T) {
+	ia, ib := items(200, "k"), items(200, "k")
+	ib["k-0042"] = "tampered"
+	a, b := Build(8, ia), Build(8, ib)
+	if a.Root() == b.Root() {
+		t.Fatal("changed value, same root")
+	}
+	diff, compared := DiffLeaves(a, b)
+	if len(diff) != 1 {
+		t.Fatalf("diff = %v, want exactly the one leaf holding k-0042", diff)
+	}
+	if diff[0] != LeafIndex(8, "k-0042") {
+		t.Fatalf("diff leaf %d, want %d", diff[0], LeafIndex(8, "k-0042"))
+	}
+	// The walk must prune matching subtrees: far fewer comparisons than
+	// the 511 nodes of a full scan.
+	if compared > 2*8+1 {
+		t.Fatalf("compared %d nodes; pruning broken", compared)
+	}
+}
+
+func TestMissingKeyFound(t *testing.T) {
+	ia, ib := items(50, "k"), items(50, "k")
+	delete(ib, "k-0007")
+	a, b := Build(6, ia), Build(6, ib)
+	diff, _ := DiffLeaves(a, b)
+	want := LeafIndex(6, "k-0007")
+	found := false
+	for _, d := range diff {
+		if d == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diff %v does not include leaf %d of the missing key", diff, want)
+	}
+}
+
+func TestLeafIndexStableAndInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		idx := LeafIndex(10, k)
+		if idx < 0 || idx >= 1024 {
+			t.Fatalf("leaf index %d out of range", idx)
+		}
+		if idx != LeafIndex(10, k) {
+			t.Fatal("leaf index unstable")
+		}
+	}
+}
+
+func TestKeysSpreadAcrossLeaves(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[LeafIndex(4, fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("1000 keys hit only %d of 16 leaves", len(seen))
+	}
+}
+
+func TestDepthValidation(t *testing.T) {
+	for _, d := range []int{0, 17} {
+		d := d
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Build(depth=%d) did not panic", d)
+				}
+			}()
+			Build(d, nil)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DiffLeaves across depths did not panic")
+		}
+	}()
+	DiffLeaves(Build(4, nil), Build(5, nil))
+}
+
+// TestPropDiffFindsExactlyTheDivergentLeaves: for random divergence, the
+// reported leaves are precisely the set containing keys whose values
+// differ or that exist on one side only.
+func TestPropDiffFindsExactlyTheDivergentLeaves(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := items(r.Intn(150)+20, "k")
+		other := make(map[string]string, len(base))
+		for k, v := range base {
+			other[k] = v
+		}
+		want := map[int]bool{}
+		// Mutate a few entries.
+		for i := 0; i < r.Intn(5); i++ {
+			k := fmt.Sprintf("k-%04d", r.Intn(len(base)))
+			other[k] = "mut"
+			want[LeafIndex(8, k)] = true
+		}
+		// Add a one-sided key.
+		if r.Intn(2) == 0 {
+			k := "extra-key"
+			other[k] = "x"
+			want[LeafIndex(8, k)] = true
+		}
+		a, b := Build(8, base), Build(8, other)
+		diff, _ := DiffLeaves(a, b)
+		got := map[int]bool{}
+		for _, d := range diff {
+			got[d] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for leaf := range want {
+			if !got[leaf] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package oplog implements the operation-centric log at the heart of the
+// paper's §6.5 pattern: business operations captured "much like a ledger
+// entry", each carrying a uniquifier, merged across replicas by set union.
+//
+// Union of uniquified operation sets is associative, commutative, and
+// idempotent — the A, C, and I of ACID 2.0 (§8) — so "replicas that have
+// seen the same work should see the same result, independent of the order
+// in which the work has arrived" (§7.6). Applications derive their state
+// by folding the entries in a canonical order; packages cart, bank, and
+// core all build on this.
+package oplog
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/uniq"
+)
+
+// Entry is one recorded business operation. Entries are immutable and
+// comparable; two entries with the same ID describe the same operation.
+//
+// The scalar payload (Kind, Key, Arg, Note) deliberately covers every
+// application in this repository: a cart op is {Kind:"add", Key:item,
+// Arg:qty}, a bank op is {Kind:"debit", Key:account, Arg:cents}, and so
+// on. Keeping the payload concrete keeps sets comparable and hashable.
+type Entry struct {
+	ID   uniq.ID  // uniquifier assigned at ingress
+	Kind string   // business operation name, e.g. "add-to-cart"
+	Key  string   // object the operation targets (item, account, ...)
+	Arg  int64    // numeric argument (quantity, cents, ...)
+	Lam  uint64   // Lamport timestamp: orders causally related operations
+	At   sim.Time // ingress wall-clock timestamp (statement cutoffs etc.)
+	Note string   // free-form annotation carried with the op
+}
+
+// Set is a mergeable set of entries keyed by uniquifier. The zero value is
+// not usable; construct with NewSet.
+type Set struct {
+	byID map[uniq.ID]Entry
+}
+
+// NewSet returns an empty set, optionally seeded with entries.
+func NewSet(entries ...Entry) *Set {
+	s := &Set{byID: make(map[uniq.ID]Entry)}
+	for _, e := range entries {
+		s.Add(e)
+	}
+	return s
+}
+
+// Add inserts e, reporting true if it was new. Re-adding an entry with an
+// already-present ID is a no-op returning false — this is what makes
+// processing "have the business impact of a single execution even as it is
+// processed at multiple replicas" (§5.4).
+func (s *Set) Add(e Entry) bool {
+	if _, ok := s.byID[e.ID]; ok {
+		return false
+	}
+	s.byID[e.ID] = e
+	return true
+}
+
+// Contains reports whether an entry with the given ID is present.
+func (s *Set) Contains(id uniq.ID) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// Get returns the entry with the given ID, if present.
+func (s *Set) Get(id uniq.ID) (Entry, bool) {
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// Len reports the number of distinct operations.
+func (s *Set) Len() int { return len(s.byID) }
+
+// Union absorbs every entry of o into s, returning how many were new.
+// Union is the gossip primitive: "when the work flows together, a new,
+// more accurate answer is created" (§7.6).
+func (s *Set) Union(o *Set) int {
+	added := 0
+	for _, e := range o.byID {
+		if s.Add(e) {
+			added++
+		}
+	}
+	return added
+}
+
+// Diff returns the entries present in s but absent from o, in canonical
+// order. Replicas exchange diffs during anti-entropy.
+func (s *Set) Diff(o *Set) []Entry {
+	var out []Entry
+	for id, e := range s.byID {
+		if !o.Contains(id) {
+			out = append(out, e)
+		}
+	}
+	sortCanonical(out)
+	return out
+}
+
+// Copy returns an independent copy.
+func (s *Set) Copy() *Set {
+	c := NewSet()
+	for _, e := range s.byID {
+		c.byID[e.ID] = e
+	}
+	return c
+}
+
+// Equal reports whether both sets hold exactly the same entries.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for id, e := range s.byID {
+		oe, ok := o.byID[id]
+		if !ok || oe != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Entries returns all operations in canonical order: ascending Lamport
+// timestamp, then ingress time, ties broken by ID. Lamport assignment at
+// ingress (see MaxLam) makes an operation sort after everything its
+// replica had already seen, so causes fold before effects; the remaining
+// ties are concurrent operations, ordered deterministically. Folding
+// state in canonical order makes the derived state a pure function of the
+// set — the arrival order at this replica "is not the determining factor
+// in the outcome" (§7.6).
+func (s *Set) Entries() []Entry {
+	out := make([]Entry, 0, len(s.byID))
+	for _, e := range s.byID {
+		out = append(out, e)
+	}
+	sortCanonical(out)
+	return out
+}
+
+// MaxLam returns the highest Lamport timestamp in the set (0 when empty).
+// An ingress point stamps new operations with max(seen)+1.
+func (s *Set) MaxLam() uint64 {
+	var max uint64
+	for _, e := range s.byID {
+		if e.Lam > max {
+			max = e.Lam
+		}
+	}
+	return max
+}
+
+func sortCanonical(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Lam != es[j].Lam {
+			return es[i].Lam < es[j].Lam
+		}
+		if es[i].At != es[j].At {
+			return es[i].At < es[j].At
+		}
+		return es[i].ID < es[j].ID
+	})
+}
+
+// Fold applies fn to every entry in canonical order, threading an
+// accumulator. It is the generic "derive state from the ledger" helper.
+func Fold[S any](s *Set, init S, fn func(S, Entry) S) S {
+	acc := init
+	for _, e := range s.Entries() {
+		acc = fn(acc, e)
+	}
+	return acc
+}

@@ -1,0 +1,65 @@
+package oplog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/uniq"
+)
+
+// Micro-benchmarks for the op-set primitives: gossip and state folds are
+// built from Union and Entries, so their constants bound experiment scale.
+
+func benchSet(n int) *Set {
+	s := NewSet()
+	for i := 0; i < n; i++ {
+		s.Add(Entry{ID: uniq.ID(fmt.Sprintf("op-%08d", i)), Kind: "k", Arg: 1, Lam: uint64(i)})
+	}
+	return s
+}
+
+func BenchmarkSetAdd(b *testing.B) {
+	s := NewSet()
+	ids := make([]uniq.ID, b.N)
+	for i := range ids {
+		ids[i] = uniq.ID(fmt.Sprintf("op-%08d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(Entry{ID: ids[i], Lam: uint64(i)})
+	}
+}
+
+func BenchmarkUnionDisjoint1k(b *testing.B) {
+	src := benchSet(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := NewSet()
+		dst.Union(src)
+	}
+}
+
+func BenchmarkUnionIdempotent1k(b *testing.B) {
+	src := benchSet(1000)
+	dst := benchSet(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Union(src) // fully overlapping: the common gossip steady state
+	}
+}
+
+func BenchmarkEntriesCanonicalSort1k(b *testing.B) {
+	s := benchSet(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Entries()
+	}
+}
+
+func BenchmarkFold1k(b *testing.B) {
+	s := benchSet(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fold(s, int64(0), func(acc int64, e Entry) int64 { return acc + e.Arg })
+	}
+}

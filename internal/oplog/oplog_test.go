@@ -1,0 +1,226 @@
+package oplog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/uniq"
+)
+
+func e(id string, at int64) Entry {
+	return Entry{ID: uniq.ID(id), Kind: "op", Key: "k", Arg: 1, At: sim.Time(at)}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := NewSet()
+	if !s.Add(e("a", 1)) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(e("a", 1)) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestContainsAndGet(t *testing.T) {
+	s := NewSet(e("a", 1))
+	if !s.Contains("a") || s.Contains("b") {
+		t.Fatal("Contains wrong")
+	}
+	got, ok := s.Get("a")
+	if !ok || got.ID != "a" {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("Get of absent ID returned ok")
+	}
+}
+
+func TestUnionCountsNewOnly(t *testing.T) {
+	a := NewSet(e("1", 1), e("2", 2))
+	b := NewSet(e("2", 2), e("3", 3))
+	if n := a.Union(b); n != 1 {
+		t.Fatalf("Union absorbed %d, want 1", n)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len after union = %d", a.Len())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := NewSet(e("1", 1), e("2", 2), e("3", 3))
+	b := NewSet(e("2", 2))
+	d := a.Diff(b)
+	if len(d) != 2 || d[0].ID != "1" || d[1].ID != "3" {
+		t.Fatalf("Diff = %+v", d)
+	}
+	if len(b.Diff(a)) != 0 {
+		t.Fatal("reverse diff should be empty")
+	}
+}
+
+func TestEntriesCanonicalOrder(t *testing.T) {
+	s := NewSet(e("b", 5), e("a", 5), e("z", 1))
+	got := s.Entries()
+	if got[0].ID != "z" || got[1].ID != "a" || got[2].ID != "b" {
+		t.Fatalf("canonical order wrong: %+v", got)
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	a := NewSet(e("1", 1))
+	c := a.Copy()
+	c.Add(e("2", 2))
+	if a.Len() != 1 {
+		t.Fatal("Copy shares storage")
+	}
+	if !a.Equal(NewSet(e("1", 1))) {
+		t.Fatal("original changed")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewSet(e("1", 1), e("2", 2))
+	b := NewSet(e("2", 2), e("1", 1))
+	if !a.Equal(b) {
+		t.Fatal("same entries, different insertion order: must be Equal")
+	}
+	b.Add(e("3", 3))
+	if a.Equal(b) {
+		t.Fatal("different sizes must not be Equal")
+	}
+	c := NewSet(e("1", 1), Entry{ID: "2", Kind: "different", At: 2})
+	if a.Equal(c) {
+		t.Fatal("same IDs but different payloads must not be Equal")
+	}
+}
+
+func TestFold(t *testing.T) {
+	s := NewSet(
+		Entry{ID: "1", Kind: "credit", Arg: 100, At: 1},
+		Entry{ID: "2", Kind: "debit", Arg: 30, At: 2},
+	)
+	bal := Fold(s, int64(0), func(acc int64, e Entry) int64 {
+		if e.Kind == "credit" {
+			return acc + e.Arg
+		}
+		return acc - e.Arg
+	})
+	if bal != 70 {
+		t.Fatalf("folded balance = %d, want 70", bal)
+	}
+}
+
+// randomSet builds a random set drawing IDs from a small pool so overlap
+// between sets is common. The payload of an entry is a pure function of
+// its ID — the system invariant uniquifiers guarantee ("the payee and
+// amount for a specific check are immutable", §6.2) — so two sets can
+// share IDs but never disagree about what an ID means.
+func randomSet(r *rand.Rand) *Set {
+	s := NewSet()
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		c := rune('a' + r.Intn(10))
+		s.Add(Entry{ID: uniq.ID(string(c)), Kind: "k", At: sim.Time(int64(c) % 5)})
+	}
+	return s
+}
+
+func TestPropUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		ab := a.Copy()
+		ab.Union(b)
+		ba := b.Copy()
+		ba.Union(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomSet(r), randomSet(r), randomSet(r)
+		left := a.Copy()
+		left.Union(b)
+		left.Union(c)
+		bc := b.Copy()
+		bc.Union(c)
+		right := a.Copy()
+		right.Union(bc)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUnionIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r)
+		aa := a.Copy()
+		aa.Union(a)
+		return aa.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropFoldOrderInsensitive is the paper's §7.6 claim verbatim:
+// replicas that have seen the same ops derive the same state no matter the
+// order the ops arrived in.
+func TestPropFoldOrderInsensitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		entries := randomSet(r).Entries()
+		a, b := NewSet(), NewSet()
+		for _, e := range entries {
+			a.Add(e)
+		}
+		perm := r.Perm(len(entries))
+		for _, i := range perm {
+			b.Add(entries[i])
+		}
+		sum := func(acc int64, e Entry) int64 { return acc*31 + int64(e.At) }
+		return Fold(a, 0, sum) == Fold(b, 0, sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLam(t *testing.T) {
+	s := NewSet()
+	if s.MaxLam() != 0 {
+		t.Fatal("empty set MaxLam != 0")
+	}
+	s.Add(Entry{ID: "a", Lam: 3})
+	s.Add(Entry{ID: "b", Lam: 7})
+	s.Add(Entry{ID: "c", Lam: 5})
+	if s.MaxLam() != 7 {
+		t.Fatalf("MaxLam = %d", s.MaxLam())
+	}
+}
+
+func TestCanonicalOrderLamportFirst(t *testing.T) {
+	// Lamport order outranks wall time and ID: a causally later op with
+	// an "earlier" ID still folds last.
+	s := NewSet(
+		Entry{ID: "z-first", Lam: 1, At: 10},
+		Entry{ID: "a-second", Lam: 2, At: 5}, // earlier wall time, later cause
+	)
+	es := s.Entries()
+	if es[0].ID != "z-first" || es[1].ID != "a-second" {
+		t.Fatalf("order = %v", []uniq.ID{es[0].ID, es[1].ID})
+	}
+}

@@ -1,0 +1,78 @@
+// Package policy implements the paper's §5.5 "stomach for risk" knob: the
+// per-operation choice between asynchronous guessing and synchronous
+// coordination.
+//
+// "Locally clear a check if the face value is less than $10,000. If it
+// exceeds $10,000, double check with all the replicas to make sure it
+// clears." A Policy inspects each operation and decides which path it
+// takes; §5.8's summary — synchronous checkpoints OR apologies — becomes a
+// dial rather than a single system-wide setting.
+package policy
+
+import "repro/internal/oplog"
+
+// Decision is the risk verdict for one operation.
+type Decision int
+
+// The two paths of §5.8.
+const (
+	// Async accepts the operation on local knowledge: low latency, a
+	// guess that may later need an apology.
+	Async Decision = iota
+	// Sync coordinates with every replica before accepting: high
+	// latency, no apology risk for this operation.
+	Sync
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	if d == Sync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Policy decides the risk path for each operation.
+type Policy interface {
+	Decide(op oplog.Entry) Decision
+}
+
+// Func adapts a plain function to a Policy.
+type Func func(oplog.Entry) Decision
+
+// Decide implements Policy.
+func (f Func) Decide(op oplog.Entry) Decision { return f(op) }
+
+// AlwaysAsync guesses on everything — maximum availability, maximum
+// apology exposure.
+func AlwaysAsync() Policy { return Func(func(oplog.Entry) Decision { return Async }) }
+
+// AlwaysSync coordinates everything — the classic consistency choice.
+func AlwaysSync() Policy { return Func(func(oplog.Entry) Decision { return Sync }) }
+
+// Threshold coordinates operations whose Arg (e.g. cents at stake) is at
+// or above limit and guesses below it — the $10,000-check rule verbatim.
+func Threshold(limit int64) Policy {
+	return Func(func(op oplog.Entry) Decision {
+		if op.Arg >= limit {
+			return Sync
+		}
+		return Async
+	})
+}
+
+// ByKind routes listed operation kinds to Sync and everything else to
+// Async — "the one and only one Gutenberg bible requires strict
+// coordination" while Harry Potter ships on a local guess.
+func ByKind(syncKinds ...string) Policy {
+	set := make(map[string]bool, len(syncKinds))
+	for _, k := range syncKinds {
+		set[k] = true
+	}
+	return Func(func(op oplog.Entry) Decision {
+		if set[op.Kind] {
+			return Sync
+		}
+		return Async
+	})
+}

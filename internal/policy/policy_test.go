@@ -1,0 +1,49 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/oplog"
+)
+
+func op(kind string, arg int64) oplog.Entry {
+	return oplog.Entry{ID: "x", Kind: kind, Arg: arg}
+}
+
+func TestAlwaysPolicies(t *testing.T) {
+	if AlwaysAsync().Decide(op("anything", 1<<40)) != Async {
+		t.Fatal("AlwaysAsync decided sync")
+	}
+	if AlwaysSync().Decide(op("anything", 0)) != Sync {
+		t.Fatal("AlwaysSync decided async")
+	}
+}
+
+func TestThresholdTenThousandDollarCheck(t *testing.T) {
+	pol := Threshold(10_000_00)
+	if pol.Decide(op("clear-check", 9_999_99)) != Async {
+		t.Fatal("check below $10,000 must clear locally")
+	}
+	if pol.Decide(op("clear-check", 10_000_00)) != Sync {
+		t.Fatal("check at $10,000 must coordinate")
+	}
+	if pol.Decide(op("clear-check", 250_000_00)) != Sync {
+		t.Fatal("big check must coordinate")
+	}
+}
+
+func TestByKindGutenbergVsHarryPotter(t *testing.T) {
+	pol := ByKind("reserve-gutenberg-bible")
+	if pol.Decide(op("reserve-gutenberg-bible", 1)) != Sync {
+		t.Fatal("the one and only Gutenberg bible requires strict coordination")
+	}
+	if pol.Decide(op("ship-harry-potter", 1)) != Async {
+		t.Fatal("Harry Potter ships on a local opinion of the inventory")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Async.String() != "async" || Sync.String() != "sync" {
+		t.Fatal("decision names wrong")
+	}
+}

@@ -1,0 +1,179 @@
+// Package resource implements the paper's §7.1 allocation policies for
+// replicas that sometimes cannot talk to each other:
+//
+//   - Over-provisioning: "each replica has a fixed subset of the resources
+//     that it may allocate" — no apology is ever needed, but business is
+//     declined while inventory idles in another replica's quota.
+//
+//   - Over-booking: "allows for the possibility that the disconnected
+//     replicas will occasionally promise something they cannot deliver" —
+//     more business is accepted, and reconnection sometimes reveals
+//     commitments that cannot be kept, each one an apology.
+//
+// The policy is a single dial, Factor: the fraction of the (last known)
+// remaining inventory the replicas may collectively promise while
+// disconnected. Factor 1.0 is strict over-provisioning; above 1.0 is
+// over-booking; connected replicas always allocate against the exact
+// global count ("you can dynamically slide between these positions while
+// you are connected").
+//
+// §7.2's warning also lives here: even a perfectly provisioned allocation
+// can need an apology when the forklift runs over the last book —
+// RealWorldLoss models reality diverging from the computers.
+package resource
+
+import "fmt"
+
+// Metrics tallies one pool's business outcomes.
+type Metrics struct {
+	Accepted              int64 // units promised to customers
+	Declined              int64 // units turned away
+	DeclinedWithStockIdle int64 // declined while the system as a whole had stock
+	Apologies             int64 // promised units that could not be delivered
+	Delivered             int64 // units actually delivered at settlement
+}
+
+// Pool manages one fungible SKU across a set of replicas. The zero value
+// is not usable; construct with NewPool.
+type Pool struct {
+	total     int64 // physical units remaining (authoritative)
+	replicas  int
+	factor    float64
+	connected bool
+
+	// While disconnected, each replica sells against its share of the
+	// budget computed at disconnect time.
+	budget    []int64 // per-replica allowance for this epoch
+	soldEpoch []int64 // per-replica sales this epoch
+
+	m Metrics
+}
+
+// NewPool creates a pool of total units across n replicas, connected, with
+// the given over-booking factor (>= 0; 1.0 = strict provisioning).
+func NewPool(total int64, n int, factor float64) *Pool {
+	if n <= 0 {
+		panic("resource: need at least one replica")
+	}
+	if factor < 0 {
+		panic("resource: negative factor")
+	}
+	return &Pool{
+		total:     total,
+		replicas:  n,
+		factor:    factor,
+		connected: true,
+		budget:    make([]int64, n),
+		soldEpoch: make([]int64, n),
+	}
+}
+
+// Metrics returns a snapshot of the tallies.
+func (p *Pool) Metrics() Metrics { return p.m }
+
+// Remaining reports the authoritative physical stock not yet promised or
+// already over-promised (may be negative after over-booking settles).
+func (p *Pool) Remaining() int64 { return p.total }
+
+// Connected reports whether the replicas are currently in communication.
+func (p *Pool) Connected() bool { return p.connected }
+
+// Disconnect starts a disconnection epoch: the remaining inventory —
+// scaled by the over-booking factor — is split evenly as per-replica
+// budgets.
+func (p *Pool) Disconnect() {
+	if !p.connected {
+		return
+	}
+	p.connected = false
+	allowance := int64(p.factor * float64(p.total))
+	if allowance < 0 {
+		allowance = 0
+	}
+	base := allowance / int64(p.replicas)
+	extra := allowance % int64(p.replicas)
+	for i := range p.budget {
+		p.budget[i] = base
+		if int64(i) < extra {
+			p.budget[i]++
+		}
+		p.soldEpoch[i] = 0
+	}
+}
+
+// Connect ends the epoch: the replicas' independent promises flow
+// together, and any excess over the physical stock surfaces as apologies
+// (§7.6: "sometimes the operations accumulated by different replicas
+// result in a violation of the application's business rules").
+func (p *Pool) Connect() (newApologies int64) {
+	if p.connected {
+		return 0
+	}
+	p.connected = true
+	var sold int64
+	for i := range p.soldEpoch {
+		sold += p.soldEpoch[i]
+		p.soldEpoch[i] = 0
+	}
+	p.total -= sold
+	if p.total < 0 {
+		newApologies = -p.total
+		p.m.Apologies += newApologies
+		p.m.Delivered += sold - newApologies
+		p.total = 0
+	} else {
+		p.m.Delivered += sold
+	}
+	return newApologies
+}
+
+// Request asks replica r to promise qty units. Connected replicas check
+// the authoritative count; disconnected replicas check only their epoch
+// budget. It reports whether the business was accepted.
+func (p *Pool) Request(r int, qty int64) bool {
+	if r < 0 || r >= p.replicas {
+		panic(fmt.Sprintf("resource: replica %d of %d", r, p.replicas))
+	}
+	if qty <= 0 {
+		panic("resource: quantity must be positive")
+	}
+	if p.connected {
+		if p.total >= qty {
+			p.total -= qty
+			p.m.Accepted += qty
+			p.m.Delivered += qty
+			return true
+		}
+		p.m.Declined += qty
+		return false
+	}
+	if p.soldEpoch[r]+qty <= p.budget[r] {
+		p.soldEpoch[r] += qty
+		p.m.Accepted += qty
+		return true
+	}
+	p.m.Declined += qty
+	// Was there really no stock, or only none in this replica's slice?
+	var promised int64
+	for _, s := range p.soldEpoch {
+		promised += s
+	}
+	if promised+qty <= p.total {
+		p.m.DeclinedWithStockIdle += qty
+	}
+	return false
+}
+
+// RealWorldLoss destroys units that the computers thought existed (§7.2's
+// forklift). If more is already promised than now exists, the shortfall
+// becomes apologies immediately when connected, or at the next Connect.
+func (p *Pool) RealWorldLoss(units int64) (newApologies int64) {
+	p.total -= units
+	if p.connected && p.total < 0 {
+		newApologies = -p.total
+		p.m.Apologies += newApologies
+		p.m.Delivered -= newApologies
+		p.total = 0
+	}
+	return newApologies
+}

@@ -1,0 +1,150 @@
+// Package rpc layers request/response calls with timeouts over the
+// simulated network.
+//
+// Every protocol in this repository — disk-process checkpoints, log
+// shipping, Dynamo quorum reads, two-phase commit — is written as RPCs
+// between simulated nodes. A call that receives no response within its
+// timeout fails, which is the only way a fail-fast world lets you observe
+// a crash (§2.2: a component "simply stops functioning").
+package rpc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// callMsg and respMsg are the wire envelopes.
+type callMsg struct {
+	ID     uint64
+	Method string
+	Req    any
+}
+
+type respMsg struct {
+	ID   uint64
+	Resp any
+}
+
+// Handler serves one method. reply sends the response; it may be invoked
+// immediately or later (e.g. after a checkpoint round trip completes).
+// Invoking reply more than once panics.
+type Handler func(from simnet.NodeID, req any, reply func(resp any))
+
+// Endpoint is a node that can issue and serve RPCs. Construct with
+// NewEndpoint, which registers the node on the network.
+type Endpoint struct {
+	net      *simnet.Network
+	id       simnet.NodeID
+	timeout  time.Duration
+	handlers map[string]Handler
+	pending  map[uint64]*call
+	nextID   uint64
+}
+
+type call struct {
+	done  func(resp any, ok bool)
+	timer *sim.Timer
+}
+
+// NewEndpoint registers id on the network and returns its endpoint.
+// timeout bounds every outbound call.
+func NewEndpoint(net *simnet.Network, id simnet.NodeID, timeout time.Duration) *Endpoint {
+	e := &Endpoint{
+		net:      net,
+		id:       id,
+		timeout:  timeout,
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]*call),
+	}
+	net.AddNode(id, e.dispatch)
+	return e
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() simnet.NodeID { return e.id }
+
+// Handle registers the handler for method. Registering a method twice
+// panics: two state machines fighting over a method name is a bug.
+func (e *Endpoint) Handle(method string, h Handler) {
+	if _, dup := e.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %q on %q", method, e.id))
+	}
+	e.handlers[method] = h
+}
+
+// Call invokes method on node to. done fires exactly once: with the
+// response and ok=true, or with nil and ok=false if the deadline passes
+// (crashed node, partition, lost message). done may be nil for
+// fire-and-forget notifications.
+func (e *Endpoint) Call(to simnet.NodeID, method string, req any, done func(resp any, ok bool)) {
+	e.nextID++
+	id := e.nextID
+	if done != nil {
+		c := &call{done: done}
+		c.timer = e.net.Sim().After(e.timeout, func() {
+			delete(e.pending, id)
+			done(nil, false)
+		})
+		e.pending[id] = c
+	}
+	e.net.Send(e.id, to, callMsg{ID: id, Method: method, Req: req})
+}
+
+// Crashed reports whether this endpoint's node is currently down.
+func (e *Endpoint) Crashed() bool { return !e.net.IsUp(e.id) }
+
+func (e *Endpoint) dispatch(m simnet.Message) {
+	switch msg := m.Payload.(type) {
+	case callMsg:
+		h, ok := e.handlers[msg.Method]
+		if !ok {
+			panic(fmt.Sprintf("rpc: node %q has no handler for %q", e.id, msg.Method))
+		}
+		replied := false
+		h(m.From, msg.Req, func(resp any) {
+			if replied {
+				panic(fmt.Sprintf("rpc: double reply to %q on %q", msg.Method, e.id))
+			}
+			replied = true
+			e.net.Send(e.id, m.From, respMsg{ID: msg.ID, Resp: resp})
+		})
+	case respMsg:
+		c, ok := e.pending[msg.ID]
+		if !ok {
+			return // response landed after timeout; drop it
+		}
+		delete(e.pending, msg.ID)
+		c.timer.Stop()
+		c.done(msg.Resp, true)
+	}
+}
+
+// Broadcast calls method on every node in to, invoking done once with the
+// responses that arrived in time (ok=false responses are dropped) after
+// all calls resolve. Order of responses matches the order of to for the
+// calls that succeeded.
+func (e *Endpoint) Broadcast(to []simnet.NodeID, method string, req any, done func(resps []any, oks int)) {
+	n := len(to)
+	if n == 0 {
+		done(nil, 0)
+		return
+	}
+	resps := make([]any, 0, n)
+	remaining := n
+	oks := 0
+	for _, node := range to {
+		e.Call(node, method, req, func(resp any, ok bool) {
+			if ok {
+				resps = append(resps, resp)
+				oks++
+			}
+			remaining--
+			if remaining == 0 {
+				done(resps, oks)
+			}
+		})
+	}
+}

@@ -1,0 +1,216 @@
+// Package seats implements the paper's §7.3 "Seat Reservation" pattern:
+// non-fungible resources sold to untrusted agents.
+//
+// Each seat is in one of three states —
+//
+//	{"available"}
+//	{"purchase pending", session-identity}
+//	{"purchased", purchaser-identity}
+//
+// — with individual transitions between them and a durable cleanup queue
+// for holds abandoned in the pending state. The hold TTL is the knob the
+// paper turns: the trusted-agent design (no TTL) lets "unscrupulous
+// agents ... quickly start a set of transactions against prime seats,
+// making them unavailable to others"; the online design bounds the time an
+// untrusted agent can keep the system inconsistent.
+package seats
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// State is a seat's lifecycle position.
+type State int
+
+// The three states of §7.3.
+const (
+	Available State = iota
+	Pending
+	Purchased
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Available:
+		return "available"
+	case Pending:
+		return "purchase pending"
+	default:
+		return "purchased"
+	}
+}
+
+// Metrics tallies venue outcomes.
+type Metrics struct {
+	Holds        stats.Counter // holds granted
+	HoldRejected stats.Counter // hold attempts on non-available seats
+	Purchases    stats.Counter
+	Expired      stats.Counter // holds reaped by the cleanup queue
+	Released     stats.Counter // holds voluntarily released
+}
+
+type seat struct {
+	state   State
+	session string // holder (Pending) or purchaser (Purchased)
+	holdGen int    // invalidates stale cleanup entries after re-hold
+}
+
+// cleanupEntry is a durably enqueued request to reap an abandoned hold —
+// the paper's "durably enqueue requests to clean up seats abandoned in the
+// 'purchase pending' state."
+type cleanupEntry struct {
+	seat    int
+	holdGen int
+}
+
+// Venue sells a fixed set of seats. Construct with NewVenue.
+type Venue struct {
+	s       *sim.Sim
+	seats   []seat
+	holdTTL time.Duration // 0 = unbounded holds (the trusted-agent design)
+	queue   []cleanupEntry
+	armed   bool
+	sweep   time.Duration // janitor cadence
+
+	M Metrics
+}
+
+// NewVenue creates a venue with n seats on simulator s. holdTTL bounds
+// "purchase pending" holds; zero disables expiry entirely.
+func NewVenue(s *sim.Sim, n int, holdTTL time.Duration) *Venue {
+	if n <= 0 {
+		panic("seats: venue needs at least one seat")
+	}
+	return &Venue{s: s, seats: make([]seat, n), holdTTL: holdTTL, sweep: holdTTL / 4}
+}
+
+// Seats reports the venue size.
+func (v *Venue) Seats() int { return len(v.seats) }
+
+// StateOf returns a seat's state and the session attached to it.
+func (v *Venue) StateOf(i int) (State, string) {
+	v.check(i)
+	return v.seats[i].state, v.seats[i].session
+}
+
+// CleanupQueueDepth reports how many reap requests are pending.
+func (v *Venue) CleanupQueueDepth() int { return len(v.queue) }
+
+func (v *Venue) check(i int) {
+	if i < 0 || i >= len(v.seats) {
+		panic(fmt.Sprintf("seats: seat %d of %d", i, len(v.seats)))
+	}
+}
+
+// Hold transitions an available seat to purchase-pending for session,
+// reporting whether the hold was granted. With a TTL configured, a reap
+// request is durably enqueued for the expiry time.
+func (v *Venue) Hold(i int, session string) bool {
+	v.check(i)
+	st := &v.seats[i]
+	if st.state != Available {
+		v.M.HoldRejected.Inc()
+		return false
+	}
+	st.state = Pending
+	st.session = session
+	st.holdGen++
+	v.M.Holds.Inc()
+	if v.holdTTL > 0 {
+		gen := st.holdGen
+		v.s.After(v.holdTTL, func() {
+			v.queue = append(v.queue, cleanupEntry{seat: i, holdGen: gen})
+			v.armJanitor()
+		})
+	}
+	return true
+}
+
+// Buy completes the purchase of a seat the session holds.
+func (v *Venue) Buy(i int, session string) bool {
+	v.check(i)
+	st := &v.seats[i]
+	if st.state != Pending || st.session != session {
+		return false
+	}
+	st.state = Purchased
+	v.M.Purchases.Inc()
+	return true
+}
+
+// Release voluntarily abandons a hold ("if a purchaser reneges, the
+// transaction is rolled back making the seats available again").
+func (v *Venue) Release(i int, session string) bool {
+	v.check(i)
+	st := &v.seats[i]
+	if st.state != Pending || st.session != session {
+		return false
+	}
+	st.state = Available
+	st.session = ""
+	v.M.Released.Inc()
+	return true
+}
+
+// armJanitor schedules a queue sweep if none is pending.
+func (v *Venue) armJanitor() {
+	if v.armed || len(v.queue) == 0 {
+		return
+	}
+	v.armed = true
+	d := v.sweep
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	v.s.After(d, func() {
+		v.armed = false
+		v.runJanitor()
+		v.armJanitor()
+	})
+}
+
+// runJanitor drains the cleanup queue, reaping holds whose generation
+// still matches (a re-held or purchased seat has moved on).
+func (v *Venue) runJanitor() {
+	q := v.queue
+	v.queue = nil
+	for _, e := range q {
+		st := &v.seats[e.seat]
+		if st.state == Pending && st.holdGen == e.holdGen {
+			st.state = Available
+			st.session = ""
+			v.M.Expired.Inc()
+		}
+	}
+}
+
+// CountByState tallies seats per state.
+func (v *Venue) CountByState() map[State]int {
+	out := map[State]int{}
+	for _, st := range v.seats {
+		out[st.state]++
+	}
+	return out
+}
+
+// PurchasedBy reports how many seats in [lo, hi) are owned by sessions
+// with the given prefix — experiments use it to split scalper inventory
+// from real buyers' seats.
+func (v *Venue) PurchasedBy(lo, hi int, prefix string) int {
+	n := 0
+	for i := lo; i < hi && i < len(v.seats); i++ {
+		if v.seats[i].state == Purchased && hasPrefix(v.seats[i].session, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}

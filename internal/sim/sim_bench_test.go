@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The event loop's throughput bounds every experiment in the repository.
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkDeepQueue(b *testing.B) {
+	// Schedule b.N events up front (heap at full depth), then drain.
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkTimerStop(b *testing.B) {
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.After(time.Hour, func() {})
+		t.Stop()
+	}
+}

@@ -1,0 +1,248 @@
+// Package simnet provides a simulated message network on top of the
+// discrete-event simulator in internal/sim.
+//
+// It models exactly the failure domain the paper assumes (§2.2): fail-fast
+// nodes that are either functioning or stopped, connected by links with
+// configurable latency, loss, and duplication, and subject to partitions.
+// Message counts are tracked so experiments can charge protocols for their
+// chatter — the heart of the DP1-vs-DP2 comparison is how many messages sit
+// on the critical path of a WRITE.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID names a simulated node.
+type NodeID string
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From, To NodeID
+	Payload  any
+	SentAt   sim.Time
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(Message)
+
+// Latency models per-message delivery delay.
+type Latency interface {
+	Sample(r *rand.Rand) time.Duration
+}
+
+// Fixed is a constant delivery delay.
+type Fixed time.Duration
+
+// Sample returns the fixed delay.
+func (f Fixed) Sample(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Jitter is a uniform delay in [Base, Base+Spread).
+type Jitter struct {
+	Base, Spread time.Duration
+}
+
+// Sample returns Base plus a uniform draw from [0, Spread).
+func (j Jitter) Sample(r *rand.Rand) time.Duration {
+	if j.Spread <= 0 {
+		return j.Base
+	}
+	return j.Base + time.Duration(r.Int63n(int64(j.Spread)))
+}
+
+// Counters aggregates network-wide message statistics.
+type Counters struct {
+	Sent       int64 // Send calls
+	Delivered  int64 // handler invocations
+	Lost       int64 // dropped by random loss
+	DownDrop   int64 // dropped because receiver was down at delivery
+	PartDrop   int64 // dropped because sender and receiver were partitioned
+	Duplicated int64 // extra deliveries injected by duplication
+}
+
+type node struct {
+	handler Handler
+	up      bool
+	group   int // partition group; nodes in different groups cannot talk
+}
+
+// Network is a simulated message fabric. Construct with New.
+type Network struct {
+	s        *sim.Sim
+	nodes    map[NodeID]*node
+	latency  Latency
+	links    map[[2]NodeID]Latency
+	lossProb float64
+	dupProb  float64
+	counters Counters
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the default link latency model (default: Fixed 1ms).
+func WithLatency(l Latency) Option { return func(n *Network) { n.latency = l } }
+
+// WithLoss sets the probability a message is silently dropped.
+func WithLoss(p float64) Option { return func(n *Network) { n.lossProb = p } }
+
+// WithDuplication sets the probability a message is delivered twice.
+func WithDuplication(p float64) Option { return func(n *Network) { n.dupProb = p } }
+
+// New builds a network bound to simulator s.
+func New(s *sim.Sim, opts ...Option) *Network {
+	n := &Network{
+		s:       s,
+		nodes:   make(map[NodeID]*node),
+		latency: Fixed(time.Millisecond),
+		links:   make(map[[2]NodeID]Latency),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Sim returns the simulator the network is bound to.
+func (n *Network) Sim() *sim.Sim { return n.s }
+
+// AddNode registers a node and its message handler. Nodes start up (alive)
+// and unpartitioned. Re-adding an existing node panics: silently replacing
+// a live handler is always a test bug.
+func (n *Network) AddNode(id NodeID, h Handler) {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: node %q already registered", id))
+	}
+	n.nodes[id] = &node{handler: h, up: true}
+}
+
+// SetHandler replaces the handler of an existing node, for components that
+// rebuild their state machine after a restart.
+func (n *Network) SetHandler(id NodeID, h Handler) {
+	n.mustNode(id).handler = h
+}
+
+// SetUp marks a node alive or crashed. Messages are not delivered to
+// crashed nodes; a message in flight when its receiver crashes is lost,
+// matching fail-fast semantics.
+func (n *Network) SetUp(id NodeID, up bool) { n.mustNode(id).up = up }
+
+// IsUp reports whether the node is alive.
+func (n *Network) IsUp(id NodeID) bool { return n.mustNode(id).up }
+
+// Partition splits the network into the given groups. Nodes in different
+// groups cannot exchange messages; nodes not named in any group land in an
+// implicit extra group together. Calling Partition replaces any previous
+// partition.
+func (n *Network) Partition(groups ...[]NodeID) {
+	for _, nd := range n.nodes {
+		nd.group = 0 // implicit group for unnamed nodes
+	}
+	for i, g := range groups {
+		for _, id := range g {
+			n.mustNode(id).group = i + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	for _, nd := range n.nodes {
+		nd.group = 0
+	}
+}
+
+// Reachable reports whether a message from a to b would currently be
+// routed (both registered, not partitioned apart; says nothing about b
+// being up at delivery time).
+func (n *Network) Reachable(a, b NodeID) bool {
+	na, nb := n.mustNode(a), n.mustNode(b)
+	return na.group == nb.group
+}
+
+// SetLinkLatency overrides latency on the (symmetric) link between a and b.
+func (n *Network) SetLinkLatency(a, b NodeID, l Latency) {
+	n.links[linkKey(a, b)] = l
+}
+
+func linkKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+func (n *Network) linkLatency(a, b NodeID) Latency {
+	if l, ok := n.links[linkKey(a, b)]; ok {
+		return l
+	}
+	return n.latency
+}
+
+// Send routes payload from one node to another, applying latency, loss,
+// duplication, partitions, and crash state. Sending from a crashed node is
+// a silent no-op (a stopped process sends nothing). Delivery happens on
+// the simulator event loop.
+func (n *Network) Send(from, to NodeID, payload any) {
+	src := n.mustNode(from)
+	dst := n.mustNode(to)
+	if !src.up {
+		return
+	}
+	n.counters.Sent++
+	if src.group != dst.group {
+		n.counters.PartDrop++
+		return
+	}
+	if n.lossProb > 0 && n.s.Rand().Float64() < n.lossProb {
+		n.counters.Lost++
+		return
+	}
+	n.deliverAfter(from, to, payload)
+	if n.dupProb > 0 && n.s.Rand().Float64() < n.dupProb {
+		n.counters.Duplicated++
+		n.deliverAfter(from, to, payload)
+	}
+}
+
+func (n *Network) deliverAfter(from, to NodeID, payload any) {
+	d := n.linkLatency(from, to).Sample(n.s.Rand())
+	sentAt := n.s.Now()
+	n.s.After(d, func() {
+		dst := n.mustNode(to)
+		if !dst.up {
+			n.counters.DownDrop++
+			return
+		}
+		n.counters.Delivered++
+		dst.handler(Message{From: from, To: to, Payload: payload, SentAt: sentAt})
+	})
+}
+
+// Counters returns a snapshot of network-wide message statistics.
+func (n *Network) Counters() Counters { return n.counters }
+
+// ResetCounters zeroes the message statistics, for experiments that warm
+// up before measuring.
+func (n *Network) ResetCounters() { n.counters = Counters{} }
+
+// Nodes returns the registered node IDs in unspecified order.
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (n *Network) mustNode(id NodeID) *node {
+	nd, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node %q", id))
+	}
+	return nd
+}

@@ -1,0 +1,68 @@
+package tandem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestCommittedSurvivesRestartWindow is a regression test for a takeover
+// hole: a transaction whose per-write checkpoints flowed while the peer
+// was down must not be marked applied at that peer by a later
+// ckpt-commit on an empty staging set — that would poison the redo after
+// the next takeover and lose committed data.
+func TestCommittedSurvivesRestartWindow(t *testing.T) {
+	for _, mode := range []Mode{DP1, DP2} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := sim.New(1)
+			sys := New(s, Config{Mode: mode, NumDP: 2})
+			committed := map[string]string{}
+			var launch func(i int)
+			launch = func(i int) {
+				if i == 300 {
+					return
+				}
+				key, val := fmt.Sprintf("key-%04d", i), fmt.Sprintf("v%d", i)
+				txn := sys.Begin()
+				txn.Write(key, val, func(ok bool) {
+					if !ok {
+						txn.Abort()
+						launch(i + 1)
+						return
+					}
+					txn.Commit(func(c bool) {
+						if c {
+							committed[key] = val
+						}
+						launch(i + 1)
+					})
+				})
+				if i%20 == 7 {
+					pair := (i / 20) % 2
+					s.After(0, func() { sys.CrashPrimary(pair) })
+					s.After(30*time.Millisecond, func() { sys.RestartBackup(pair) })
+				}
+			}
+			launch(0)
+			s.Run()
+			if len(committed) == 0 {
+				t.Fatal("nothing committed")
+			}
+			lost := 0
+			for key, want := range committed {
+				k, w := key, want
+				sys.Read(k, func(v string, ok bool) {
+					if !ok || v != w {
+						lost++
+					}
+				})
+			}
+			s.Run()
+			if lost != 0 {
+				t.Fatalf("%d committed transactions lost across restart windows", lost)
+			}
+		})
+	}
+}

@@ -1,0 +1,447 @@
+package tandem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// kv is a key/value write for the txn driver.
+type kv struct{ k, v string }
+
+// runTxn drives one transaction through writes and commit, invoking done
+// with the outcome. All progress happens on the simulator loop.
+func runTxn(sys *System, writes []kv, done func(committed bool)) {
+	t := sys.Begin()
+	var step func(i int)
+	step = func(i int) {
+		if i == len(writes) {
+			t.Commit(done)
+			return
+		}
+		t.Write(writes[i].k, writes[i].v, func(ok bool) {
+			if !ok {
+				t.Abort()
+				done(false)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+func mustRead(t *testing.T, s *sim.Sim, sys *System, key string) (string, bool) {
+	t.Helper()
+	var val string
+	var found, answered bool
+	sys.Read(key, func(v string, ok bool) { val, found, answered = v, ok, true })
+	s.Run()
+	if !answered {
+		t.Fatalf("Read(%q) never answered", key)
+	}
+	return val, found
+}
+
+func TestCommitAndReadBack(t *testing.T) {
+	for _, mode := range []Mode{DP1, DP2} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := sim.New(1)
+			sys := New(s, Config{Mode: mode})
+			var committed bool
+			runTxn(sys, []kv{{"alpha", "1"}, {"beta", "2"}}, func(ok bool) { committed = ok })
+			s.Run()
+			if !committed {
+				t.Fatal("transaction did not commit")
+			}
+			if v, ok := mustRead(t, s, sys, "alpha"); !ok || v != "1" {
+				t.Fatalf("alpha = %q,%v", v, ok)
+			}
+			if v, ok := mustRead(t, s, sys, "beta"); !ok || v != "2" {
+				t.Fatalf("beta = %q,%v", v, ok)
+			}
+			if sys.M.Commits.Value() != 1 {
+				t.Fatalf("Commits = %d", sys.M.Commits.Value())
+			}
+		})
+	}
+}
+
+func TestReadMissingKey(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2})
+	if _, ok := mustRead(t, s, sys, "ghost"); ok {
+		t.Fatal("missing key reported found")
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2})
+	txn := sys.Begin()
+	txn.Write("k", "v", func(ok bool) {
+		if !ok {
+			t.Error("write failed")
+		}
+		txn.Abort()
+	})
+	s.Run()
+	if _, ok := mustRead(t, s, sys, "k"); ok {
+		t.Fatal("aborted write visible")
+	}
+	if sys.M.Aborts.Value() != 1 {
+		t.Fatalf("Aborts = %d", sys.M.Aborts.Value())
+	}
+}
+
+func TestUncommittedInvisibleUntilCommit(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2})
+	txn := sys.Begin()
+	wrote := false
+	txn.Write("k", "v", func(ok bool) { wrote = ok })
+	s.Run()
+	if !wrote {
+		t.Fatal("write failed")
+	}
+	if _, ok := mustRead(t, s, sys, "k"); ok {
+		t.Fatal("uncommitted write visible to read")
+	}
+}
+
+// TestWriteLatencyDP1vsDP2 checks the paper's headline §3.2 claim at unit
+// scale: a DP1 WRITE pays a synchronous checkpoint round trip; a DP2 WRITE
+// does not, so it completes in half the bus hops.
+func TestWriteLatencyDP1vsDP2(t *testing.T) {
+	lat := func(mode Mode) time.Duration {
+		s := sim.New(1)
+		sys := New(s, Config{Mode: mode})
+		runTxn(sys, []kv{{"k", "v"}}, func(bool) {})
+		s.Run()
+		return sys.M.WriteLat.MeanDur()
+	}
+	dp1, dp2 := lat(DP1), lat(DP2)
+	if dp1 != 2*dp2 {
+		t.Fatalf("write latency DP1=%v DP2=%v; DP1 must be exactly 2x (4 hops vs 2)", dp1, dp2)
+	}
+}
+
+// TestCheckpointTrafficDP1vsDP2: DP1 checkpoints synchronously on every
+// WRITE; DP2 moves checkpointing off the write path entirely (zero
+// per-WRITE checkpoints) and batches the log instead, lowering total
+// checkpoint traffic.
+func TestCheckpointTrafficDP1vsDP2(t *testing.T) {
+	const txns, writesPer = 20, 5
+	run := func(mode Mode) (perWrite, total int64) {
+		s := sim.New(1)
+		sys := New(s, Config{Mode: mode})
+		var launch func(i int)
+		launch = func(i int) {
+			if i == txns {
+				return
+			}
+			var ws []kv
+			for w := 0; w < writesPer; w++ {
+				ws = append(ws, kv{fmt.Sprintf("k-%d-%d", i, w), "v"})
+			}
+			runTxn(sys, ws, func(bool) { launch(i + 1) })
+		}
+		launch(0)
+		s.Run()
+		if got := sys.M.Commits.Value(); got != txns {
+			t.Fatalf("%v: commits = %d, want %d", mode, got, txns)
+		}
+		return sys.M.WriteCkptMsgs.Value(), sys.M.CheckpointMsgs.Value()
+	}
+	dp1PerWrite, dp1Total := run(DP1)
+	dp2PerWrite, dp2Total := run(DP2)
+	if dp1PerWrite != txns*writesPer {
+		t.Fatalf("DP1 per-write checkpoints = %d, want %d (one per WRITE)", dp1PerWrite, txns*writesPer)
+	}
+	if dp2PerWrite != 0 {
+		t.Fatalf("DP2 per-write checkpoints = %d, want 0 (off the write path)", dp2PerWrite)
+	}
+	if dp2Total >= dp1Total {
+		t.Fatalf("DP2 total checkpoints = %d vs DP1 %d; batching should reduce traffic", dp2Total, dp1Total)
+	}
+}
+
+// TestDP1FailoverTransparent reproduces §3.1: under DP1 a primary DP crash
+// mid-transaction is survivable — the backup has every checkpointed write,
+// and the idempotent retry drives the in-flight transaction to commit.
+func TestDP1FailoverTransparent(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP1, NumDP: 1})
+	var outcome *bool
+	txn := sys.Begin()
+	txn.Write("w1", "v1", func(ok bool) {
+		if !ok {
+			t.Error("first write failed")
+		}
+		// Crash the primary before the second write.
+		sys.CrashPrimary(0)
+		txn.Write("w2", "v2", func(ok bool) {
+			if !ok {
+				t.Error("write after failover failed (should retry onto backup)")
+			}
+			txn.Commit(func(c bool) { outcome = &c })
+		})
+	})
+	s.Run()
+	if outcome == nil || !*outcome {
+		t.Fatal("in-flight DP1 transaction did not survive primary failure")
+	}
+	if v, ok := mustRead(t, s, sys, "w1"); !ok || v != "v1" {
+		t.Fatalf("w1 = %q,%v after failover", v, ok)
+	}
+	if v, ok := mustRead(t, s, sys, "w2"); !ok || v != "v2" {
+		t.Fatalf("w2 = %q,%v after failover", v, ok)
+	}
+	if sys.M.FailoverAborts.Value() != 0 {
+		t.Fatalf("FailoverAborts = %d under DP1", sys.M.FailoverAborts.Value())
+	}
+	if sys.PrimaryOf(0) != "b" {
+		t.Fatalf("primary = %s, want b after takeover", sys.PrimaryOf(0))
+	}
+}
+
+// TestDP2FailoverAbortsInFlight reproduces §3.2/§3.3: a DP2 primary crash
+// aborts in-flight transactions that touched it (the acceptable erosion),
+// while committed work survives via the audit trail.
+func TestDP2FailoverAbortsInFlight(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2, NumDP: 1})
+
+	// First, commit a transaction so there is committed state to protect.
+	var seeded bool
+	runTxn(sys, []kv{{"stable", "gold"}}, func(ok bool) { seeded = ok })
+	s.Run()
+	if !seeded {
+		t.Fatal("seed txn failed")
+	}
+
+	// Now an in-flight transaction with a buffered (unflushed) write.
+	var outcome *bool
+	txn := sys.Begin()
+	txn.Write("volatile", "doomed", func(ok bool) {
+		sys.CrashPrimary(0)
+		s.After(5*time.Millisecond, func() {
+			txn.Commit(func(c bool) { outcome = &c })
+		})
+	})
+	s.Run()
+	if outcome == nil {
+		t.Fatal("commit never resolved")
+	}
+	if *outcome {
+		t.Fatal("in-flight DP2 transaction survived primary failure; it must abort")
+	}
+	if sys.M.FailoverAborts.Value() != 1 {
+		t.Fatalf("FailoverAborts = %d, want 1", sys.M.FailoverAborts.Value())
+	}
+	// Committed data must be intact on the new primary (redo from ADP).
+	if v, ok := mustRead(t, s, sys, "stable"); !ok || v != "gold" {
+		t.Fatalf("committed key lost by takeover: %q,%v", v, ok)
+	}
+	if _, ok := mustRead(t, s, sys, "volatile"); ok {
+		t.Fatal("aborted in-flight write resurrected")
+	}
+}
+
+// TestDP2CommittedNeverLostAcrossCrashes is the E2 audit at unit scale:
+// commit 30 transactions while crashing and restoring the primary
+// repeatedly; every committed write must be readable afterwards.
+func TestDP2CommittedNeverLostAcrossCrashes(t *testing.T) {
+	s := sim.New(7)
+	sys := New(s, Config{Mode: DP2, NumDP: 2})
+	const total = 30
+	committedKeys := make(map[string]string)
+	attempted := 0
+
+	var launch func(i int)
+	launch = func(i int) {
+		if i == total {
+			return
+		}
+		attempted++
+		key, val := fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%d", i)
+		runTxn(sys, []kv{{key, val}}, func(ok bool) {
+			if ok {
+				committedKeys[key] = val
+			}
+			launch(i + 1)
+		})
+		// Crash a primary every 7th transaction, restart shortly after.
+		if i%7 == 3 {
+			pair := i % 2
+			s.After(time.Millisecond, func() { sys.CrashPrimary(pair) })
+			s.After(20*time.Millisecond, func() { sys.RestartBackup(pair) })
+		}
+	}
+	launch(0)
+	s.Run()
+
+	if len(committedKeys) == 0 {
+		t.Fatal("nothing committed; test is vacuous")
+	}
+	for key, want := range committedKeys {
+		if v, ok := mustRead(t, s, sys, key); !ok || v != want {
+			t.Fatalf("committed %s=%s lost (got %q,%v)", key, want, v, ok)
+		}
+	}
+	t.Logf("attempted=%d committed=%d failoverAborts=%d",
+		attempted, len(committedKeys), sys.M.FailoverAborts.Value())
+}
+
+// TestSecondFailoverAfterRestart: crash a, promote b, restart a as backup,
+// crash b — a must take over with full state.
+func TestSecondFailoverAfterRestart(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2, NumDP: 1})
+	var ok1 bool
+	runTxn(sys, []kv{{"k1", "v1"}}, func(ok bool) { ok1 = ok })
+	s.Run()
+	if !ok1 {
+		t.Fatal("seed txn failed")
+	}
+
+	sys.CrashPrimary(0)
+	s.RunFor(10 * time.Millisecond)
+	sys.RestartBackup(0)
+	var ok2 bool
+	runTxn(sys, []kv{{"k2", "v2"}}, func(ok bool) { ok2 = ok })
+	s.Run()
+	if !ok2 {
+		t.Fatal("txn after first failover failed")
+	}
+
+	sys.CrashPrimary(0) // crashes b, the current primary
+	s.RunFor(10 * time.Millisecond)
+	sys.RestartBackup(0)
+	s.Run()
+	if sys.PrimaryOf(0) != "a" {
+		t.Fatalf("primary = %s, want a after second takeover", sys.PrimaryOf(0))
+	}
+	for k, want := range map[string]string{"k1": "v1", "k2": "v2"} {
+		if v, ok := mustRead(t, s, sys, k); !ok || v != want {
+			t.Fatalf("%s = %q,%v after double failover", k, v, ok)
+		}
+	}
+}
+
+func TestWriteAfterFinishFails(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2})
+	txn := sys.Begin()
+	txn.Abort()
+	called := false
+	txn.Write("k", "v", func(ok bool) {
+		called = true
+		if ok {
+			t.Error("write on finished txn succeeded")
+		}
+	})
+	s.Run()
+	if !called {
+		t.Fatal("done not invoked")
+	}
+}
+
+func TestCommitOnAbortedTxnFails(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP1})
+	txn := sys.Begin()
+	txn.Abort()
+	var out *bool
+	txn.Commit(func(ok bool) { out = &ok })
+	s.Run()
+	if out == nil || *out {
+		t.Fatal("commit after abort must fail")
+	}
+}
+
+func TestReadOnlyCommit(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2})
+	txn := sys.Begin()
+	var out *bool
+	txn.Commit(func(ok bool) { out = &ok })
+	s.Run()
+	if out == nil || !*out {
+		t.Fatal("read-only transaction must commit")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if DP1.String() != "DP1-1984" || DP2.String() != "DP2-1986" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestPartitioningSpreadsKeys(t *testing.T) {
+	s := sim.New(1)
+	sys := New(s, Config{Mode: DP2, NumDP: 4})
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[sys.dpIndex(fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("keys landed on %d of 4 partitions", len(seen))
+	}
+}
+
+func TestConcurrentTransactionsInterleave(t *testing.T) {
+	// Eight transactions in flight at once, distinct keys, both modes:
+	// per-txn staging must not bleed between them.
+	for _, mode := range []Mode{DP1, DP2} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := sim.New(3)
+			sys := New(s, Config{Mode: mode, NumDP: 4})
+			const txns = 8
+			committed := 0
+			for i := 0; i < txns; i++ {
+				i := i
+				runTxn(sys, []kv{
+					{fmt.Sprintf("a-%d", i), fmt.Sprintf("v%d", i)},
+					{fmt.Sprintf("b-%d", i), fmt.Sprintf("w%d", i)},
+				}, func(ok bool) {
+					if ok {
+						committed++
+					}
+				})
+			}
+			s.Run()
+			if committed != txns {
+				t.Fatalf("committed %d of %d concurrent txns", committed, txns)
+			}
+			for i := 0; i < txns; i++ {
+				if v, ok := mustRead(t, s, sys, fmt.Sprintf("a-%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+					t.Fatalf("a-%d = %q,%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestAbortedTxnDoesNotBlockOthers(t *testing.T) {
+	s := sim.New(4)
+	sys := New(s, Config{Mode: DP2, NumDP: 1})
+	// One txn writes then aborts; a concurrent txn on the same pair
+	// commits cleanly.
+	loser := sys.Begin()
+	loser.Write("doomed", "x", func(ok bool) { loser.Abort() })
+	var won bool
+	runTxn(sys, []kv{{"winner", "y"}}, func(ok bool) { won = ok })
+	s.Run()
+	if !won {
+		t.Fatal("concurrent txn failed because another aborted")
+	}
+	if _, ok := mustRead(t, s, sys, "doomed"); ok {
+		t.Fatal("aborted write visible")
+	}
+	if v, ok := mustRead(t, s, sys, "winner"); !ok || v != "y" {
+		t.Fatalf("winner = %q,%v", v, ok)
+	}
+}

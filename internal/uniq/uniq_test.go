@@ -1,0 +1,99 @@
+package uniq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenSequentialAndScoped(t *testing.T) {
+	g := NewGen("n1")
+	a, b := g.Next(), g.Next()
+	if a == b {
+		t.Fatal("generator repeated an ID")
+	}
+	if a != "n1-000001" || b != "n1-000002" {
+		t.Fatalf("unexpected IDs %q, %q", a, b)
+	}
+	if g.Count() != 2 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+}
+
+func TestGenDifferentNodesNeverCollide(t *testing.T) {
+	g1, g2 := NewGen("a"), NewGen("b")
+	seen := map[ID]bool{}
+	for i := 0; i < 100; i++ {
+		for _, id := range []ID{g1.Next(), g2.Next()} {
+			if seen[id] {
+				t.Fatalf("collision on %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestContentIDStableOnRetry(t *testing.T) {
+	req := []byte(`{"op":"buy","book":"Harry Potter"}`)
+	if ContentID(req) != ContentID(req) {
+		t.Fatal("identical requests produced different content IDs")
+	}
+}
+
+func TestContentIDDistinguishesRequests(t *testing.T) {
+	if ContentID([]byte("a")) == ContentID([]byte("b")) {
+		t.Fatal("different requests collided")
+	}
+}
+
+func TestContentIDProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		same := string(a) == string(b)
+		return (ContentID(a) == ContentID(b)) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckNumber(t *testing.T) {
+	id := CheckNumber("chase", "acct-9", 101)
+	if id != "chase/acct-9/chk-000101" {
+		t.Fatalf("CheckNumber = %q", id)
+	}
+	if CheckNumber("chase", "acct-9", 101) != id {
+		t.Fatal("check numbers must be deterministic")
+	}
+	if CheckNumber("chase", "acct-9", 102) == id {
+		t.Fatal("different check numbers collided")
+	}
+}
+
+func TestDedupSuppressesDuplicates(t *testing.T) {
+	d := NewDedup()
+	if d.Seen("x") {
+		t.Fatal("fresh filter claims to have seen x")
+	}
+	if !d.Record("x") {
+		t.Fatal("first Record must return true")
+	}
+	if d.Record("x") {
+		t.Fatal("duplicate Record must return false")
+	}
+	if !d.Seen("x") {
+		t.Fatal("Seen after Record must be true")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDedupIndependentIDs(t *testing.T) {
+	d := NewDedup()
+	d.Record("x")
+	if !d.Record("y") {
+		t.Fatal("unseen ID suppressed")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}

@@ -1,0 +1,133 @@
+// Package vclock implements vector clocks, the causality-tracking
+// mechanism the Dynamo store (§6.1 of the paper) uses to detect whether
+// two versions of a blob are ordered or concurrent siblings.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// The four possible causal relations between two clocks.
+const (
+	Equal      Ordering = iota // identical histories
+	Before                     // receiver is an ancestor of the argument
+	After                      // receiver descends from the argument
+	Concurrent                 // neither descends: siblings
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// VC is a vector clock: a map from actor ID to that actor's event count.
+// The zero value (nil) is a valid empty clock.
+type VC map[string]uint64
+
+// New returns an empty clock.
+func New() VC { return VC{} }
+
+// Copy returns an independent copy of the clock.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	for k, n := range v {
+		c[k] = n
+	}
+	return c
+}
+
+// Tick increments actor's entry in place and returns the clock. A nil
+// clock cannot be ticked in place; use New first.
+func (v VC) Tick(actor string) VC {
+	v[actor]++
+	return v
+}
+
+// Get returns actor's counter (0 when absent).
+func (v VC) Get(actor string) uint64 { return v[actor] }
+
+// Merge returns a new clock holding the pointwise maximum of v and o —
+// the least clock that descends from both.
+func (v VC) Merge(o VC) VC {
+	m := v.Copy()
+	for k, n := range o {
+		if n > m[k] {
+			m[k] = n
+		}
+	}
+	return m
+}
+
+// Compare classifies the causal relation of v to o.
+func (v VC) Compare(o VC) Ordering {
+	vLess, oLess := false, false // any coordinate strictly smaller?
+	for k, n := range v {
+		if on := o[k]; n < on {
+			vLess = true
+		} else if n > on {
+			oLess = true
+		}
+	}
+	for k, on := range o {
+		if n := v[k]; n < on {
+			vLess = true
+		} else if n > on {
+			oLess = true
+		}
+	}
+	switch {
+	case !vLess && !oLess:
+		return Equal
+	case vLess && !oLess:
+		return Before
+	case !vLess && oLess:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// Descends reports whether v has seen everything o has (v >= o pointwise).
+// Every clock descends from the empty clock and from itself.
+func (v VC) Descends(o VC) bool {
+	ord := v.Compare(o)
+	return ord == Equal || ord == After
+}
+
+// Concurrent reports whether neither clock descends from the other.
+func (v VC) Concurrent(o VC) bool { return v.Compare(o) == Concurrent }
+
+// String renders the clock deterministically, e.g. "{a:2 b:1}".
+func (v VC) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

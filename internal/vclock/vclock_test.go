@@ -1,0 +1,180 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyClocksEqual(t *testing.T) {
+	if New().Compare(New()) != Equal {
+		t.Fatal("two empty clocks must be Equal")
+	}
+}
+
+func TestTickOrders(t *testing.T) {
+	a := New().Tick("a")
+	if a.Compare(New()) != After {
+		t.Fatal("ticked clock must be After empty")
+	}
+	if New().Compare(a) != Before {
+		t.Fatal("empty must be Before ticked")
+	}
+	b := a.Copy().Tick("a")
+	if b.Compare(a) != After || a.Compare(b) != Before {
+		t.Fatal("second tick must strictly dominate")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := New().Tick("a")
+	b := New().Tick("b")
+	if a.Compare(b) != Concurrent || b.Compare(a) != Concurrent {
+		t.Fatal("disjoint ticks must be Concurrent")
+	}
+	if !a.Concurrent(b) {
+		t.Fatal("Concurrent helper disagrees")
+	}
+}
+
+func TestMergeDescendsBoth(t *testing.T) {
+	a := New().Tick("a").Tick("a")
+	b := New().Tick("b")
+	m := a.Merge(b)
+	if !m.Descends(a) || !m.Descends(b) {
+		t.Fatalf("merge %v does not descend both %v and %v", m, a, b)
+	}
+	if m.Get("a") != 2 || m.Get("b") != 1 {
+		t.Fatalf("merge = %v", m)
+	}
+}
+
+func TestMergeDoesNotMutate(t *testing.T) {
+	a := New().Tick("a")
+	b := New().Tick("b")
+	_ = a.Merge(b)
+	if a.Get("b") != 0 {
+		t.Fatal("Merge mutated receiver")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := New().Tick("a")
+	c := a.Copy()
+	c.Tick("a")
+	if a.Get("a") != 1 {
+		t.Fatal("Copy shares storage with original")
+	}
+}
+
+func TestDescendsReflexiveAndOnEmpty(t *testing.T) {
+	a := New().Tick("x").Tick("y")
+	if !a.Descends(a) {
+		t.Fatal("clock must descend itself")
+	}
+	if !a.Descends(New()) {
+		t.Fatal("clock must descend empty")
+	}
+	if New().Descends(a) {
+		t.Fatal("empty must not descend non-empty")
+	}
+}
+
+func TestZeroEntriesDoNotBreakEquality(t *testing.T) {
+	a := VC{"a": 1, "b": 0}
+	b := VC{"a": 1}
+	if a.Compare(b) != Equal {
+		t.Fatalf("explicit zero entry changed ordering: %v", a.Compare(b))
+	}
+}
+
+func TestString(t *testing.T) {
+	v := VC{"b": 2, "a": 1}
+	if v.String() != "{a:1 b:2}" {
+		t.Fatalf("String() = %q", v.String())
+	}
+	if New().String() != "{}" {
+		t.Fatalf("empty String() = %q", New().String())
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if Concurrent.String() != "concurrent" || Equal.String() != "equal" ||
+		Before.String() != "before" || After.String() != "after" {
+		t.Fatal("Ordering.String names wrong")
+	}
+	if Ordering(42).String() != "Ordering(42)" {
+		t.Fatal("unknown ordering formatting wrong")
+	}
+}
+
+// randomVC builds a small random clock for property tests.
+func randomVC(r *rand.Rand) VC {
+	v := New()
+	actors := []string{"a", "b", "c"}
+	for _, ac := range actors {
+		n := r.Intn(4)
+		for i := 0; i < n; i++ {
+			v.Tick(ac)
+		}
+	}
+	return v
+}
+
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVC(r), randomVC(r)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Equal:
+			return ba == Equal
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		default:
+			return ba == Concurrent
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVC(r), randomVC(r)
+		m := a.Merge(b)
+		return m.Descends(a) && m.Descends(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeCommutativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVC(r), randomVC(r)
+		if a.Merge(b).Compare(b.Merge(a)) != Equal {
+			return false
+		}
+		return a.Merge(a).Compare(a) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVC(r), randomVC(r), randomVC(r)
+		return a.Merge(b).Merge(c).Compare(a.Merge(b.Merge(c))) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package quicksand is a from-scratch Go reproduction of Pat Helland and
+// Dave Campbell's "Building on Quicksand" (CIDR 2009).
+//
+// The paper is a vision piece: it argues that as the unit of failure grows
+// from a mirrored disk to a datacenter, synchronous checkpointing becomes
+// unaffordable, applications must accept asynchronous state capture, and
+// correctness must move up from READ/WRITE storage semantics to
+// commutative, associative, idempotent business operations — ACID 2.0 —
+// with probabilistic business rules and apologies for the cases where
+// guesses go wrong.
+//
+// This module builds every system the paper describes and measures every
+// claim it makes:
+//
+//   - internal/sim, simnet, failure: a deterministic discrete-event world
+//     with fail-fast nodes, latency, partitions, and fault injection.
+//   - internal/tandem: the Tandem NonStop of 1984 (per-WRITE synchronous
+//     checkpoints) and 1986 (log-based checkpoints, group commit), §3.
+//   - internal/logship: asynchronous cross-datacenter log shipping with
+//     takeover loss windows and orphan recovery, §4–5.
+//   - internal/dynamo + internal/cart: a sloppy-quorum replicated blob
+//     store with vector-clock siblings, and the operation-centric shopping
+//     cart reconciled over it, §6.1.
+//   - internal/core + internal/bank + internal/policy + internal/apology:
+//     the paper's main contribution as a library — ACID 2.0 replication
+//     with probabilistic rules, risk policies, and the memories/guesses/
+//     apologies ledger, §5–6, §8.
+//   - internal/escrow, resource, seats, twopc: escrow locking, the
+//     over-provision/over-book spectrum, the seat-reservation pattern, and
+//     the fragile 2PC baseline, §5.3, §7, §2.3.
+//
+// The derived evaluation lives in internal/experiment (16 experiments,
+// each pinned to a quoted claim); run it with cmd/quicksand-bench or
+// `go test -bench=.` at the module root. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package quicksand
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
