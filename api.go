@@ -1,0 +1,158 @@
+package quicksand
+
+// This file is the public face of the ACID 2.0 replication engine: every
+// type an application needs is re-exported here (as Go 1.24 generic type
+// aliases, so values flow freely between the root package and internal
+// packages), and every constructor and functional option is wrapped with
+// its contract restated. External callers never import internal/.
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/uniq"
+	"time"
+)
+
+// Engine types, re-exported from the core engine.
+type (
+	// Cluster is a set of eventually consistent replicas plus the shared
+	// apology queue. Build one with New.
+	Cluster[S any] = core.Cluster[S]
+	// App folds operations into application state; Step must tolerate any
+	// canonical fold order (the operations must commute).
+	App[S any] = core.App[S]
+	// Rule is a probabilistically enforced business rule: Admit gates
+	// submits against the local guess, Violated sweeps merged state.
+	Rule[S any] = core.Rule[S]
+	// Replica is one eventually consistent copy of the application.
+	Replica[S any] = core.Replica[S]
+)
+
+type (
+	// Op is one typed business operation. Leave ID empty for an ingress
+	// uniquifier, or assign one (a check number, a content hash) to make
+	// retries idempotent.
+	Op = core.Op
+	// OpID is an operation uniquifier.
+	OpID = uniq.ID
+	// Result reports the outcome of one submit.
+	Result = core.Result
+	// Violation is one discovered breach of a business rule.
+	Violation = core.Violation
+	// Metrics aggregates cluster-wide observations.
+	Metrics = core.Metrics
+	// Option configures a Cluster at construction.
+	Option = core.Option
+	// SubmitOption configures one submit call.
+	SubmitOption = core.SubmitOption
+)
+
+// The transport seam: the same cluster code runs on the deterministic
+// simulator or on real goroutines.
+type (
+	// Transport carries the cluster's messages and clock.
+	Transport = core.Transport
+	// Node is one addressable participant on a Transport.
+	Node = core.Node
+	// Handler serves one RPC method on a Node.
+	Handler = core.Handler
+	// SimTransport runs replicas on the deterministic discrete-event
+	// simulator; fixed seeds reproduce runs bit-for-bit.
+	SimTransport = core.SimTransport
+	// LiveTransport runs replicas on real goroutines and wall-clock time.
+	LiveTransport = core.LiveTransport
+)
+
+// Simulation and latency-model types, for configuring transports.
+type (
+	// Sim is the deterministic discrete-event simulator.
+	Sim = sim.Sim
+	// Time is a transport timestamp: virtual on the simulator, elapsed
+	// wall clock on the live transport.
+	Time = sim.Time
+	// Latency models per-message delivery delay.
+	Latency = simnet.Latency
+	// Fixed is a constant delivery delay.
+	Fixed = simnet.Fixed
+	// Jitter is a uniform delay in [Base, Base+Spread).
+	Jitter = simnet.Jitter
+)
+
+// ErrStalled reports that a blocking Submit can never resolve because the
+// transport ran out of work to do.
+var ErrStalled = core.ErrStalled
+
+// New builds a cluster of replicas named r0, r1, ... running app under
+// rules (which may be nil). By default the cluster runs three replicas on
+// a fresh live (goroutine) transport with the AlwaysAsync risk policy;
+// options select the simulator, tune timeouts and latency, and start
+// background gossip.
+func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
+	return core.New[S](app, rules, opts...)
+}
+
+// NewOp builds an operation from the fields every application uses: the
+// business operation name, the object it targets, and its numeric
+// argument.
+func NewOp(kind, key string, arg int64) Op { return core.NewOp(kind, key, arg) }
+
+// NewSim returns a deterministic discrete-event simulator seeded with
+// seed: two simulators with the same seed and schedule produce identical
+// histories.
+func NewSim(seed int64) *Sim { return sim.New(seed) }
+
+// NewSimTransport binds a transport to simulator s with its own private
+// network.
+func NewSimTransport(s *Sim) *SimTransport { return core.NewSimTransport(s) }
+
+// NewLiveTransport returns a transport backed by real goroutines and
+// wall-clock timers.
+func NewLiveTransport() *LiveTransport { return core.NewLiveTransport() }
+
+// WithReplicas sets the replica count (default 3; values below 1 fall
+// back to the default).
+func WithReplicas(n int) Option { return core.WithReplicas(n) }
+
+// WithLatency sets the per-message delivery latency model. On the
+// simulator the default is 5ms ± 2ms; the live transport defaults to no
+// artificial delay. New panics if the chosen transport cannot honour an
+// explicit latency model.
+func WithLatency(l Latency) Option { return core.WithLatency(l) }
+
+// WithCallTimeout bounds every replica-to-replica call (default 100ms).
+func WithCallTimeout(d time.Duration) Option { return core.WithCallTimeout(d) }
+
+// WithGossipEvery starts background anti-entropy gossip at the given
+// interval as soon as the cluster is built; Cluster.Close stops it.
+func WithGossipEvery(d time.Duration) Option { return core.WithGossipEvery(d) }
+
+// WithDefaultPolicy sets the risk policy used by submits that carry no
+// WithPolicy option (default AlwaysAsync — guess on everything).
+func WithDefaultPolicy(p Policy) Option { return core.WithDefaultPolicy(p) }
+
+// WithTransport runs the cluster on the given transport (mutually
+// exclusive with WithSim).
+func WithTransport(t Transport) Option { return core.WithTransport(t) }
+
+// WithSim runs the cluster on a fresh deterministic SimTransport bound to
+// simulator s.
+func WithSim(s *Sim) Option { return core.WithSim(s) }
+
+// WithPolicy routes one submit with p instead of the cluster's default
+// risk policy — the per-operation "stomach for risk" dial of §5.5.
+func WithPolicy(p Policy) SubmitOption { return core.WithPolicy(p) }
+
+// WithNote attaches a free-form annotation to the operation.
+func WithNote(note string) SubmitOption { return core.WithNote(note) }
+
+// ContentID derives an operation ID from the request body itself — the
+// MD5 trick of §2.1: retries of a byte-identical request map to the same
+// ID with no client cooperation needed.
+func ContentID(request []byte) OpID { return uniq.ContentID(request) }
+
+// CheckNumber builds the banking uniquifier of §6.2: bank-id +
+// account-number + check-number identify a check uniquely.
+func CheckNumber(bank, account string, number int) OpID {
+	return uniq.CheckNumber(bank, account, number)
+}

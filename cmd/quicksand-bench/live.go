@@ -1,0 +1,71 @@
+package main
+
+// The -live mode: wall-clock throughput of the ACID 2.0 engine on the
+// goroutine transport. Unlike the experiment tables, these numbers are
+// NOT deterministic — they measure this machine, not the protocol.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	quicksand "repro"
+	"repro/internal/stats"
+)
+
+// liveApp is a running sum: no rules, no folds on the submit path, so the
+// measurement isolates the engine and transport.
+type liveApp struct{}
+
+func (liveApp) Init() int64                         { return 0 }
+func (liveApp) Step(s int64, op quicksand.Op) int64 { return s + op.Arg }
+
+func runLiveBench(duration time.Duration) {
+	fmt.Println("\nLIVE: engine throughput on the goroutine transport (wall clock, this machine, not deterministic)")
+	tab := stats.NewTable(
+		fmt.Sprintf("live — blocking submits for %v per row, 3 replicas, gossip every 1ms", duration),
+		"Each worker loops Submit(ctx, ...) against its home replica; latency from the cluster's async histogram.",
+		"workers", "accepted", "ops/sec", "submit p50", "submit p99", "converged after quiesce")
+	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, workers := range workerCounts {
+		if workers < 1 || seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		c := quicksand.New[int64](liveApp{}, nil,
+			quicksand.WithGossipEvery(time.Millisecond))
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		stop := time.Now().Add(duration)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := context.Background()
+				rep := w % c.Replicas()
+				for time.Now().Before(stop) {
+					res, err := c.Submit(ctx, rep, quicksand.NewOp("op", "k", 1))
+					if err == nil && res.Accepted {
+						total.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Quiesce: let gossip spread the tail, then stop it.
+		deadline := time.Now().Add(2 * time.Second)
+		for !c.Converged() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		c.Close()
+		tab.AddRow(fmt.Sprint(workers), fmt.Sprint(total.Load()),
+			fmt.Sprintf("%.0f", float64(total.Load())/duration.Seconds()),
+			stats.Dur(c.M.AsyncLat.P50()), stats.Dur(c.M.AsyncLat.P99()),
+			fmt.Sprint(c.Converged()))
+	}
+	fmt.Print(tab.String())
+}

@@ -8,6 +8,7 @@
 //	quicksand-bench -run E6      # one experiment
 //	quicksand-bench -list        # list experiments and claims
 //	quicksand-bench -seed 7      # change the deterministic seed
+//	quicksand-bench -live        # wall-clock engine throughput on real goroutines
 package main
 
 import (
@@ -21,11 +22,18 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "", "run only the experiment with this ID (e.g. E6, A1)")
-		list = flag.Bool("list", false, "list experiments without running")
-		seed = flag.Int64("seed", 1, "deterministic seed for every experiment")
+		run     = flag.String("run", "", "run only the experiment with this ID (e.g. E6, A1)")
+		list    = flag.Bool("list", false, "list experiments without running")
+		seed    = flag.Int64("seed", 1, "deterministic seed for every experiment")
+		live    = flag.Bool("live", false, "run only the live-transport throughput measurement (real goroutines, wall clock)")
+		liveDur = flag.Duration("liveduration", 500*time.Millisecond, "sampling window per row of the -live table")
 	)
 	flag.Parse()
+
+	if *live {
+		runLiveBench(*liveDur)
+		return
+	}
 
 	exps := experiment.All()
 	if *run != "" {

@@ -19,9 +19,9 @@ import (
 	"os"
 	"time"
 
+	quicksand "repro"
 	"repro/internal/bank"
 	"repro/internal/cart"
-	"repro/internal/core"
 	"repro/internal/dynamo"
 	"repro/internal/logship"
 	"repro/internal/policy"
@@ -152,10 +152,14 @@ func runLogship() {
 }
 
 func runBank() {
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "bank: -replicas must be at least 1")
+		os.Exit(2)
+	}
 	s := sim.New(*seed)
-	b := bank.New(s, core.Config{Replicas: *replicas}, *fee)
+	b := bank.New(*fee, quicksand.WithSim(s), quicksand.WithReplicas(*replicas))
 	for a := 0; a < *accounts; a++ {
-		b.Deposit(0, fmt.Sprintf("acct-%04d", a), *opening, func(core.Result) {})
+		b.Deposit(0, fmt.Sprintf("acct-%04d", a), *opening, nil)
 	}
 	s.Run()
 	for i := 0; i < *replicas+2; i++ {
@@ -169,7 +173,7 @@ func runBank() {
 	cleared, declined := 0, 0
 	stop := b.C.StartGossip(*gossip)
 	horizon := workload.PoissonLoop(s, 5*time.Millisecond, *checks, func(i int) {
-		b.ClearCheck(i%*replicas, keys(), i+1000, amounts(), pol, func(res core.Result) {
+		b.ClearCheck(i%*replicas, keys(), i+1000, amounts(), pol, func(res quicksand.Result) {
 			if res.Accepted {
 				cleared++
 			} else {
@@ -239,7 +243,7 @@ func runCart() {
 	fmt.Printf("cart (%s, %d sessions × %d adds, churn=%v):\n", design, *sessions, *adds, *churn)
 	fmt.Printf("  acked adds: %d   items in final cart: %d   lost: %d\n",
 		ackedAdds, len(final), ackedAdds-len(final))
-	m := cl.M
+	m := &cl.M
 	fmt.Printf("  store: %d sibling GETs, %d read repairs, %d hinted writes\n",
 		m.SiblingGets.Value(), m.ReadRepairs.Value(), m.HintedWrites.Value())
 }

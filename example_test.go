@@ -1,59 +1,110 @@
 package quicksand_test
 
-// Runnable documentation for the core library: the replicated-bank story
-// of §6.2 end to end, with deterministic output (the simulator's virtual
+// Runnable documentation for the public API: the replicated-bank story of
+// §6.2 end to end, with deterministic output (the simulator's virtual
 // time and seeded randomness make this a stable doctest).
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/bank"
-	"repro/internal/core"
-	"repro/internal/policy"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	quicksand "repro"
 )
 
-// Example_replicatedCheckClearing walks the paper's banking scenario:
-// partitioned replicas clear checks on guesses, the merged truth reveals
-// an overdraft, and the designed apology (a bounce fee) fires exactly
-// once.
+// balances is the derived state: per-account cents.
+type balances map[string]int64
+
+// exampleApp folds deposit and clear-check operations into balances.
+type exampleApp struct{}
+
+func (exampleApp) Init() balances { return balances{} }
+
+func (exampleApp) Step(s balances, op quicksand.Op) balances {
+	// Fold builds a fresh state each time, but Step receives the shared
+	// accumulator; copy-on-write keeps previously returned states valid.
+	ns := make(balances, len(s)+1)
+	for k, v := range s {
+		ns[k] = v
+	}
+	switch op.Kind {
+	case "deposit":
+		ns[op.Key] += op.Arg
+	case "clear-check":
+		ns[op.Key] -= op.Arg
+	}
+	return ns
+}
+
+// noOverdraft declines checks the local guess cannot cover and reports
+// accounts below zero once merged truth catches up.
+func noOverdraft() quicksand.Rule[balances] {
+	return quicksand.Rule[balances]{
+		Name: "no-overdraft",
+		Admit: func(s balances, op quicksand.Op) bool {
+			return op.Kind != "clear-check" || s[op.Key] >= op.Arg
+		},
+		Violated: func(s balances) []quicksand.Violation {
+			var out []quicksand.Violation
+			for acct, bal := range s {
+				if bal < 0 {
+					out = append(out, quicksand.Violation{
+						Detail: fmt.Sprintf("%s overdrawn by %d¢", acct, -bal),
+						Key:    acct,
+						Amount: -bal,
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Example_replicatedCheckClearing walks the paper's banking scenario on
+// the public API: partitioned replicas clear checks on guesses, the
+// merged truth reveals an overdraft, and the discovered violation becomes
+// exactly one apology.
 func Example_replicatedCheckClearing() {
-	s := sim.New(11)
-	b := bank.New(s, core.Config{Replicas: 2}, 30_00)
+	s := quicksand.NewSim(11)
+	tr := quicksand.NewSimTransport(s)
+	c := quicksand.New[balances](exampleApp{}, []quicksand.Rule[balances]{noOverdraft()},
+		quicksand.WithTransport(tr), quicksand.WithReplicas(2))
+	ctx := context.Background()
 
 	// Open the account with $100 and let both replicas learn of it.
-	b.Deposit(0, "acct", 100_00, func(core.Result) {})
-	s.Run()
-	for !b.C.Converged() {
-		b.C.GossipRound()
+	if _, err := c.Submit(ctx, 0, quicksand.NewOp("deposit", "acct", 100_00)); err != nil {
+		panic(err)
+	}
+	for !c.Converged() {
+		c.GossipRound()
 		s.Run()
 	}
 
 	// Partitioned replicas each clear a $70 check — each guess is locally
-	// sound.
-	b.C.Net().Partition([]simnet.NodeID{"r0"}, []simnet.NodeID{"r1"})
-	b.ClearCheck(0, "acct", 101, 70_00, policy.AlwaysAsync(), func(r core.Result) {
-		fmt.Printf("r0 clears check #101: %v\n", r.Accepted)
-	})
-	b.ClearCheck(1, "acct", 102, 70_00, policy.AlwaysAsync(), func(r core.Result) {
-		fmt.Printf("r1 clears check #102: %v\n", r.Accepted)
-	})
-	s.Run()
+	// sound. The check number is the uniquifier (§6.2).
+	tr.Partition([]string{"r0"}, []string{"r1"})
+	for rep, no := range []int{101, 102} {
+		op := quicksand.NewOp("clear-check", "acct", 70_00)
+		op.ID = quicksand.CheckNumber("bank", "acct", no)
+		res, err := c.Submit(ctx, rep, op)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("r%d clears check #%d: %v\n", rep, no, res.Accepted)
+	}
 
-	// Heal; memories flow together; the overdraft surfaces and the
-	// compensation runs.
-	b.C.Net().Heal()
-	for !b.C.Converged() {
-		b.C.GossipRound()
+	// Heal; memories flow together; the overdraft surfaces once.
+	tr.Heal()
+	for !c.Converged() {
+		c.GossipRound()
 		s.Run()
 	}
-	fmt.Printf("bounce fees issued: %d\n", b.Bounced.Value())
-	fmt.Printf("balances agree: %v\n", b.Balance(0, "acct") == b.Balance(1, "acct"))
+	st := c.States()
+	fmt.Printf("apologies: %d\n", c.Apologies.Total())
+	fmt.Printf("balances agree: %v\n", st[0]["acct"] == st[1]["acct"])
 
 	// Output:
 	// r0 clears check #101: true
 	// r1 clears check #102: true
-	// bounce fees issued: 1
+	// apologies: 1
 	// balances agree: true
 }

@@ -1,85 +1,177 @@
-// Replicated check clearing — the paper's Example 5 (§6.2).
+// Replicated check clearing — the paper's Example 5 (§6.2), written
+// entirely against the public quicksand API.
 //
 // Two bank replicas clear checks against the same account while
 // partitioned. Each guess looks fine locally; when the partition heals
 // and the ledgers flow together, the merged truth shows an overdraft.
 // The bank's designed apology — an automatic bounce fee — fires exactly
-// once, and both replicas converge to the same (negative) balance.
+// once, and both replicas converge to the same (negative) balance. A
+// second run with a Threshold risk policy shows §5.8's alternative:
+// coordinate the big checks and pay latency instead of apologies.
 //
 // Run with: go run ./examples/banking
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/bank"
-	"repro/internal/core"
-	"repro/internal/policy"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	quicksand "repro"
 )
 
+// Operation kinds.
+const (
+	kindDeposit = "deposit"
+	kindClear   = "clear-check"
+	kindFee     = "bounce-fee"
+)
+
+// uncovered records a check that cleared against insufficient funds in
+// the canonical history.
+type uncovered struct {
+	detail string
+	acct   string
+	amount int64
+}
+
+// accounts is the state derived from the operation ledger.
+type accounts struct {
+	bal       map[string]int64
+	uncovered []uncovered
+}
+
+// bankApp folds banking operations; deposits and debits commute, and the
+// uncovered list depends only on the canonical fold order, which the
+// engine fixes identically at every replica.
+type bankApp struct{}
+
+func (bankApp) Init() *accounts { return &accounts{bal: make(map[string]int64)} }
+
+func (bankApp) Step(s *accounts, op quicksand.Op) *accounts {
+	switch op.Kind {
+	case kindDeposit:
+		s.bal[op.Key] += op.Arg
+	case kindClear:
+		if s.bal[op.Key] < op.Arg {
+			s.uncovered = append(s.uncovered, uncovered{
+				detail: fmt.Sprintf("check %s for %d¢ cleared against insufficient funds", op.ID, op.Arg),
+				acct:   op.Key,
+				amount: op.Arg,
+			})
+		}
+		s.bal[op.Key] -= op.Arg
+	case kindFee:
+		s.bal[op.Key] -= op.Arg
+	}
+	return s
+}
+
+// noOverdraft is the probabilistically enforced business rule: each
+// replica guesses from its local balance, and merged truth is swept for
+// violations that become apologies.
+func noOverdraft() quicksand.Rule[*accounts] {
+	return quicksand.Rule[*accounts]{
+		Name: "no-overdraft",
+		Admit: func(s *accounts, op quicksand.Op) bool {
+			return op.Kind != kindClear || s.bal[op.Key] >= op.Arg
+		},
+		Violated: func(s *accounts) []quicksand.Violation {
+			out := make([]quicksand.Violation, 0, len(s.uncovered))
+			for _, u := range s.uncovered {
+				out = append(out, quicksand.Violation{Detail: u.detail, Key: u.acct, Amount: u.amount})
+			}
+			return out
+		},
+	}
+}
+
+// check builds a uniquified clear-check op: the check number is the
+// uniquifier, so presenting the same check twice debits the account once.
+func check(acct string, no int, cents int64) quicksand.Op {
+	op := quicksand.NewOp(kindClear, acct, cents)
+	op.ID = quicksand.CheckNumber("quicksand-bank", acct, no)
+	return op
+}
+
+func converge(s *quicksand.Sim, c *quicksand.Cluster[*accounts]) {
+	s.Run()
+	for !c.Converged() {
+		c.GossipRound()
+		s.Run()
+	}
+}
+
+func balance(c *quicksand.Cluster[*accounts], rep int, acct string) float64 {
+	return float64(c.Replica(rep).State().bal[acct]) / 100
+}
+
 func main() {
-	s := sim.New(11)
-	b := bank.New(s, core.Config{Replicas: 2}, 30_00) // $30 bounce fee
+	s := quicksand.NewSim(11)
+	tr := quicksand.NewSimTransport(s)
+	b := quicksand.New[*accounts](bankApp{}, []quicksand.Rule[*accounts]{noOverdraft()},
+		quicksand.WithTransport(tr), quicksand.WithReplicas(2))
+	ctx := context.Background()
+
+	// The designed apology (§5.6): business-specific compensation code
+	// that charges a $30 fee, with no human in the loop.
+	bounced := 0
+	b.Apologies.AddHandler(func(a quicksand.Apology) bool {
+		bounced++
+		fee := quicksand.NewOp(kindFee, a.Key, 30_00)
+		fee.Note = "overdraft fee for " + a.Detail
+		b.SubmitAsync(0, fee, nil)
+		return true
+	})
 
 	fmt.Println("opening deposit of $100, gossiped to both replicas:")
-	b.Deposit(0, "acct-007", 100_00, func(res core.Result) {
-		fmt.Printf("  deposit accepted=%v\n", res.Accepted)
-	})
-	s.Run()
-	for !b.C.Converged() {
-		b.C.GossipRound()
-		s.Run()
+	res, err := b.Submit(ctx, 0, quicksand.NewOp(kindDeposit, "acct-007", 100_00))
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("  r0 sees $%.2f, r1 sees $%.2f\n",
-		float64(b.Balance(0, "acct-007"))/100, float64(b.Balance(1, "acct-007"))/100)
+	fmt.Printf("  deposit accepted=%v\n", res.Accepted)
+	converge(s, b)
+	fmt.Printf("  r0 sees $%.2f, r1 sees $%.2f\n", balance(b, 0, "acct-007"), balance(b, 1, "acct-007"))
 
 	fmt.Println("\nthe replicas partition; two $70 checks are presented, one at each:")
-	b.C.Net().Partition([]simnet.NodeID{"r0"}, []simnet.NodeID{"r1"})
-	b.ClearCheck(0, "acct-007", 101, 70_00, policy.AlwaysAsync(), func(res core.Result) {
-		fmt.Printf("  r0 clears check #101 for $70: accepted=%v (its guess: funds are there)\n", res.Accepted)
-	})
-	b.ClearCheck(1, "acct-007", 102, 70_00, policy.AlwaysAsync(), func(res core.Result) {
-		fmt.Printf("  r1 clears check #102 for $70: accepted=%v (it cannot see r0's clearing)\n", res.Accepted)
-	})
-	s.Run()
+	tr.Partition([]string{"r0"}, []string{"r1"})
+	for i, no := range []int{101, 102} {
+		res, err := b.Submit(ctx, i, check("acct-007", no, 70_00))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  r%d clears check #%d for $70: accepted=%v (its guess: funds are there)\n",
+			i, no, res.Accepted)
+	}
 
 	fmt.Println("\npartition heals; memories flow together; the 'Oh, crap!' moment:")
-	b.C.Net().Heal()
-	for !b.C.Converged() {
-		b.C.GossipRound()
-		s.Run()
-	}
-	for _, a := range b.C.Apologies.Automated() {
+	tr.Heal()
+	converge(s, b)
+	for _, a := range b.Apologies.Automated() {
 		fmt.Printf("  apology (automated): %s\n", a.Detail)
 	}
-	// Spread the bounce-fee compensation op too.
-	for !b.C.Converged() {
-		b.C.GossipRound()
-		s.Run()
-	}
-	fmt.Printf("\nbounce fees issued: %d (deduped across replicas)\n", b.Bounced.Value())
+	converge(s, b) // spread the bounce-fee compensation op too
+	fmt.Printf("\nbounce fees issued: %d (deduped across replicas)\n", bounced)
 	fmt.Printf("final balances: r0 $%.2f, r1 $%.2f — identical, order be damned\n",
-		float64(b.Balance(0, "acct-007"))/100, float64(b.Balance(1, "acct-007"))/100)
+		balance(b, 0, "acct-007"), balance(b, 1, "acct-007"))
 
 	fmt.Println("\nnow the same scenario with the $10,000-style rule (coordinate big checks):")
-	b2 := bank.New(s, core.Config{Replicas: 2}, 30_00)
-	b2.Deposit(0, "acct-009", 100_00, func(core.Result) {})
-	s.Run()
-	for !b2.C.Converged() {
-		b2.C.GossipRound()
-		s.Run()
+	b2 := quicksand.New[*accounts](bankApp{}, []quicksand.Rule[*accounts]{noOverdraft()},
+		quicksand.WithSim(s), quicksand.WithReplicas(2),
+		quicksand.WithDefaultPolicy(quicksand.Threshold(50_00))) // coordinate anything >= $50
+	if _, err := b2.Submit(ctx, 0, quicksand.NewOp(kindDeposit, "acct-009", 100_00)); err != nil {
+		panic(err)
 	}
-	pol := policy.Threshold(50_00) // coordinate anything >= $50
-	b2.ClearCheck(0, "acct-009", 201, 70_00, pol, func(res core.Result) {
-		fmt.Printf("  r0 clears $70 check with coordination: accepted=%v\n", res.Accepted)
-	})
-	s.Run()
-	b2.ClearCheck(1, "acct-009", 202, 70_00, pol, func(res core.Result) {
-		fmt.Printf("  r1 tries the second $70 check: accepted=%v (%s)\n", res.Accepted, res.Reason)
-	})
-	s.Run()
-	fmt.Printf("bounce fees under coordination: %d — you paid latency instead of apologies (§5.8)\n",
-		b2.Bounced.Value())
+	converge(s, b2)
+	resA, err := b2.Submit(ctx, 0, check("acct-009", 201, 70_00))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  r0 clears $70 check with coordination: accepted=%v\n", resA.Accepted)
+	resB, err := b2.Submit(ctx, 1, check("acct-009", 202, 70_00))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  r1 tries the second $70 check: accepted=%v (%s)\n", resB.Accepted, resB.Reason)
+	fmt.Printf("no apologies under coordination: %d — you paid latency instead (§5.8)\n",
+		b2.Apologies.Total())
 }

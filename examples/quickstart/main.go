@@ -1,21 +1,21 @@
-// Quickstart: a replicated, eventually consistent counter-style account on
-// the quicksand core in under a screen of code.
+// Quickstart: a replicated, eventually consistent ledger on the public
+// quicksand API in under a screen of code.
 //
-// Three replicas accept debits and credits on local knowledge (guesses),
-// gossip their operation ledgers, and converge to the same balance no
-// matter which replica saw which operation first — the ACID 2.0 pattern
-// of Building on Quicksand (CIDR 2009), §6.5–§8.
+// Three replicas running on real goroutines (the default live transport)
+// accept debits and credits on local knowledge (guesses), gossip their
+// operation ledgers in the background, and converge to the same balance
+// no matter which replica saw which operation first — the ACID 2.0
+// pattern of Building on Quicksand (CIDR 2009), §6.5–§8.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/oplog"
-	"repro/internal/policy"
-	"repro/internal/sim"
+	quicksand "repro"
 )
 
 // ledgerApp derives a balance by folding credit/debit operations.
@@ -23,7 +23,7 @@ type ledgerApp struct{}
 
 func (ledgerApp) Init() int64 { return 0 }
 
-func (ledgerApp) Step(bal int64, op oplog.Entry) int64 {
+func (ledgerApp) Step(bal int64, op quicksand.Op) int64 {
 	if op.Kind == "credit" {
 		return bal + op.Arg
 	}
@@ -31,31 +31,45 @@ func (ledgerApp) Step(bal int64, op oplog.Entry) int64 {
 }
 
 func main() {
-	s := sim.New(42)
-	cluster := core.NewCluster[int64](s, core.Config{Replicas: 3}, ledgerApp{})
+	cluster := quicksand.New[int64](ledgerApp{}, nil,
+		quicksand.WithReplicas(3),
+		quicksand.WithGossipEvery(2*time.Millisecond))
+	defer cluster.Close()
+	ctx := context.Background()
 
 	// Each replica accepts work independently — no coordination, no
 	// waiting: every acceptance is a guess made on local knowledge.
-	submit := func(rep int, kind string, cents int64) {
-		cluster.Submit(rep, kind, "acct", cents, "", policy.AlwaysAsync(), func(res core.Result) {
-			fmt.Printf("  replica r%d accepted %s of %d¢ (latency %v)\n", rep, kind, cents, res.Latency)
-		})
-	}
-	submit(0, "credit", 500)
-	submit(1, "debit", 120)
-	submit(2, "credit", 75)
-	s.Run()
-
-	fmt.Println("\nbefore gossip, each replica knows only what it saw:")
-	for i, bal := range cluster.States() {
-		fmt.Printf("  r%d balance: %d¢ (%d ops)\n", i, bal, cluster.Replica(i).OpCount())
+	fmt.Println("submitting one operation at each replica:")
+	for i, op := range []quicksand.Op{
+		quicksand.NewOp("credit", "acct", 500),
+		quicksand.NewOp("debit", "acct", 120),
+		quicksand.NewOp("credit", "acct", 75),
+	} {
+		res, err := cluster.Submit(ctx, i, op)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  replica r%d accepted %s of %d¢: %v\n", i, op.Kind, op.Arg, res.Accepted)
 	}
 
-	// Memories flow together (§7.6): a few anti-entropy rounds spread
-	// every operation everywhere.
-	for round := 0; !cluster.Converged(); round++ {
-		cluster.GossipRound()
-		s.Run()
+	// Bulk ingest goes through SubmitBatch: one blocking call, results
+	// aligned with the ops by index.
+	batch := []quicksand.Op{
+		quicksand.NewOp("credit", "acct", 40),
+		quicksand.NewOp("debit", "acct", 15),
+	}
+	results, err := cluster.SubmitBatch(ctx, 0, batch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("batch of %d at r0: all accepted=%v\n", len(batch),
+		results[0].Accepted && results[1].Accepted)
+
+	// Memories flow together (§7.6): background gossip spreads every
+	// operation everywhere within a few rounds.
+	deadline := time.Now().Add(2 * time.Second)
+	for !cluster.Converged() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
 
 	fmt.Println("\nafter gossip, every replica tells the same story:")

@@ -55,7 +55,7 @@ func main() {
 	})
 	s.Run()
 
-	m := store.M
+	m := &store.M
 	fmt.Printf("\nstore counters: %d gets, %d puts, %d sibling GETs, %d hinted writes, %d read repairs\n",
 		m.Gets.Value(), m.Puts.Value(), m.SiblingGets.Value(), m.HintedWrites.Value(), m.ReadRepairs.Value())
 	fmt.Println("note: alice's delete and bob's concurrent add-milk were siblings;")

@@ -11,6 +11,7 @@ package apology
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/uniq"
@@ -48,26 +49,42 @@ type Entry struct {
 }
 
 // Ledger is an append-only record of memories, guesses, and apologies for
-// one replica. The zero value is ready to use.
+// one replica. The zero value is ready to use; Ledgers are safe for
+// concurrent use.
 type Ledger struct {
+	mu      sync.Mutex
 	entries []Entry
 	counts  [3]int
 }
 
 // Record appends a line.
 func (l *Ledger) Record(at sim.Time, kind Kind, who, what string, ref uniq.ID) {
+	l.mu.Lock()
 	l.entries = append(l.entries, Entry{At: at, Kind: kind, Who: who, What: what, Ref: ref})
 	l.counts[kind]++
+	l.mu.Unlock()
 }
 
 // Count reports how many entries of the kind exist.
-func (l *Ledger) Count(kind Kind) int { return l.counts[kind] }
+func (l *Ledger) Count(kind Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[kind]
+}
 
 // Entries returns a copy of all lines, in record order.
-func (l *Ledger) Entries() []Entry { return append([]Entry(nil), l.entries...) }
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.entries...)
+}
 
 // Len reports the total number of lines.
-func (l *Ledger) Len() int { return len(l.entries) }
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
 
 // Apology is a discovered business-rule violation that someone must now
 // smooth over — "every business includes apologies" (§5.7).
@@ -99,8 +116,11 @@ func NewApology(rule, detail string, amount int64, replica string) Apology {
 type Handler func(Apology) bool
 
 // Queue routes apologies to automated handlers, then to humans. The zero
-// value is not usable; construct with NewQueue.
+// value is not usable; construct with NewQueue. Queues are safe for
+// concurrent use; handlers run outside the queue's lock, so compensation
+// code may submit new operations (and thereby new apologies) re-entrantly.
 type Queue struct {
+	mu        sync.Mutex
 	handlers  []Handler
 	seen      *uniq.Dedup
 	automated []Apology
@@ -112,34 +132,60 @@ func NewQueue() *Queue { return &Queue{seen: uniq.NewDedup()} }
 
 // AddHandler appends an automated compensation handler; handlers run in
 // registration order.
-func (q *Queue) AddHandler(h Handler) { q.handlers = append(q.handlers, h) }
+func (q *Queue) AddHandler(h Handler) {
+	q.mu.Lock()
+	q.handlers = append(q.handlers, h)
+	q.mu.Unlock()
+}
 
 // Submit routes one apology. Duplicates (by ID) are dropped. It reports
 // whether the apology was newly accepted.
 func (q *Queue) Submit(a Apology) bool {
+	q.mu.Lock()
 	if !q.seen.Record(a.ID) {
+		q.mu.Unlock()
 		return false
 	}
-	for _, h := range q.handlers {
+	handlers := append([]Handler(nil), q.handlers...)
+	q.mu.Unlock()
+	for _, h := range handlers {
 		if h(a) {
+			q.mu.Lock()
 			q.automated = append(q.automated, a)
+			q.mu.Unlock()
 			return true
 		}
 	}
+	q.mu.Lock()
 	q.human = append(q.human, a)
+	q.mu.Unlock()
 	return true
 }
 
 // Automated returns apologies resolved by handlers.
-func (q *Queue) Automated() []Apology { return append([]Apology(nil), q.automated...) }
+func (q *Queue) Automated() []Apology {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]Apology(nil), q.automated...)
+}
 
 // Human returns apologies waiting for a person.
-func (q *Queue) Human() []Apology { return append([]Apology(nil), q.human...) }
+func (q *Queue) Human() []Apology {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]Apology(nil), q.human...)
+}
 
 // Total reports all accepted apologies.
-func (q *Queue) Total() int { return len(q.automated) + len(q.human) }
+func (q *Queue) Total() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.automated) + len(q.human)
+}
 
 // String summarizes the queue.
 func (q *Queue) String() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return fmt.Sprintf("apologies: %d automated, %d escalated to humans", len(q.automated), len(q.human))
 }

@@ -122,7 +122,6 @@ type Statement struct {
 // automatic bounce-fee compensation, and per-replica statement books.
 type Bank struct {
 	C   *core.Cluster[*Accounts]
-	s   *sim.Sim
 	fee int64
 
 	checkSeq map[string]int
@@ -134,14 +133,14 @@ type Bank struct {
 }
 
 // New builds a bank over a fresh core cluster. feeCents is the overdraft
-// fee charged per uncovered check.
-func New(s *sim.Sim, cfg core.Config, feeCents int64) *Bank {
+// fee charged per uncovered check; opts configure the underlying cluster
+// (replica count, transport, gossip cadence, ...).
+func New(feeCents int64, opts ...core.Option) *Bank {
 	b := &Bank{
-		s:        s,
 		fee:      feeCents,
 		checkSeq: make(map[string]int),
 	}
-	b.C = core.NewCluster[*Accounts](s, cfg, App{}, NoOverdraft())
+	b.C = core.New[*Accounts](App{}, []core.Rule[*Accounts]{NoOverdraft()}, opts...)
 	for i := 0; i < b.C.Replicas(); i++ {
 		b.stmts = append(b.stmts, make(map[string][]Statement))
 		b.onStmt = append(b.onStmt, make(map[uniq.ID]bool))
@@ -153,25 +152,27 @@ func New(s *sim.Sim, cfg core.Config, feeCents int64) *Bank {
 			return false
 		}
 		b.Bounced.Inc()
-		b.C.Submit(0, KindBounceFee, a.Key, b.fee,
-			"overdraft fee for "+a.Detail, policy.AlwaysAsync(), func(core.Result) {})
+		op := core.NewOp(KindBounceFee, a.Key, b.fee)
+		op.Note = "overdraft fee for " + a.Detail
+		b.C.SubmitAsync(0, op, nil, core.WithPolicy(policy.AlwaysAsync()))
 		return true
 	})
 	return b
 }
 
-// Deposit credits cents to account at replica rep.
+// Deposit credits cents to account at replica rep. done may be nil.
 func (b *Bank) Deposit(rep int, account string, cents int64, done func(core.Result)) {
-	b.C.Submit(rep, KindDeposit, account, cents, "", policy.AlwaysAsync(), done)
+	b.C.SubmitAsync(rep, core.NewOp(KindDeposit, account, cents), done,
+		core.WithPolicy(policy.AlwaysAsync()))
 }
 
 // ClearCheck presents a numbered check at replica rep. The check number
 // is the uniquifier: presenting the same check at two replicas debits the
 // account once. pol decides whether this check clears on local knowledge
-// or coordinates (the $10,000 rule).
+// or coordinates (the $10,000 rule). done may be nil.
 func (b *Bank) ClearCheck(rep int, account string, checkNo int, cents int64, pol policy.Policy, done func(core.Result)) {
-	op := oplogEntry(account, checkNo, cents, b.s.Now())
-	b.C.SubmitOp(rep, op, pol, done)
+	op := oplogEntry(account, checkNo, cents, b.C.Now())
+	b.C.SubmitAsync(rep, op, done, core.WithPolicy(pol))
 }
 
 // NextCheckNo hands out the next check number for an account's checkbook.
@@ -227,7 +228,7 @@ func (b *Bank) IssueStatement(rep int, account string, cutoff sim.Time) Statemen
 		Closing:  closing,
 		Lines:    lines,
 		CutoffAt: cutoff,
-		IssuedAt: b.s.Now(),
+		IssuedAt: b.C.Now(),
 	}
 	b.stmts[rep][account] = append(prev, st)
 	return st

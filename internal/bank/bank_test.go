@@ -13,7 +13,7 @@ import (
 
 func newBank(seed int64, replicas int) (*sim.Sim, *Bank) {
 	s := sim.New(seed)
-	return s, New(s, core.Config{Replicas: replicas}, 30_00) // $30 bounce fee
+	return s, New(30_00, core.WithSim(s), core.WithReplicas(replicas)) // $30 bounce fee
 }
 
 func deposit(t *testing.T, s *sim.Sim, b *Bank, rep int, acct string, cents int64) {

@@ -18,10 +18,20 @@
 // A policy.Policy picks, per operation, between the asynchronous guess
 // path and §5.8's alternative — synchronous coordination with every
 // replica — implementing the "$10,000 check" rule.
+//
+// The package is re-exported by the module root as the public `quicksand`
+// API. Clusters are built with New plus functional options (WithReplicas,
+// WithSim, WithTransport, ...), operations are submitted synchronously
+// with Submit/SubmitBatch — context-aware calls that resolve to a typed
+// Result — or asynchronously with SubmitAsync for callers that live
+// inside a simulated event loop. The Transport seam lets the same cluster
+// run on the deterministic simulator or on real goroutines.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apology"
@@ -31,6 +41,20 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
+
+// Op is one typed business operation offered to a cluster. The zero Op is
+// not submittable — at minimum Kind should be set; an Op with an empty ID
+// receives an ingress uniquifier at submit time, while a caller-assigned
+// ID (a check number, a content hash) makes retries idempotent: an op
+// whose ID was already seen at a replica is accepted without re-recording.
+type Op = oplog.Entry
+
+// NewOp builds an operation with the fields every application uses: the
+// business operation name, the object it targets, and its numeric
+// argument. The ingress replica assigns the uniquifier and timestamps.
+func NewOp(kind, key string, arg int64) Op {
+	return Op{Kind: kind, Key: key, Arg: arg}
+}
 
 // App folds operations into application state. Step must be insensitive
 // to the canonical fold order produced by oplog.Set — in ACID 2.0 terms,
@@ -43,7 +67,7 @@ type App[S any] interface {
 	// Init returns the empty state.
 	Init() S
 	// Step applies one operation.
-	Step(state S, op oplog.Entry) S
+	Step(state S, op Op) S
 }
 
 // Violation is one discovered breach of a business rule.
@@ -58,38 +82,66 @@ type Rule[S any] struct {
 	Name string
 	// Admit, if non-nil, gates an operation against the replica's local
 	// (guessed) state. Returning false declines the business.
-	Admit func(state S, op oplog.Entry) bool
+	Admit func(state S, op Op) bool
 	// Violated, if non-nil, inspects a (possibly newly merged) state and
 	// reports standing violations — the "Oh, crap!" moments of §5.7.
 	Violated func(state S) []Violation
 }
 
-// Config tunes a Cluster. Zero fields take defaults.
-type Config struct {
-	Replicas    int            // default 3
-	MsgLatency  simnet.Latency // default 5ms ± 2ms (cross-site links)
-	CallTimeout time.Duration  // default 100ms
+// config collects everything the functional options tune.
+type config struct {
+	replicas    int
+	latency     simnet.Latency
+	callTimeout time.Duration
+	gossipEvery time.Duration
+	defPolicy   policy.Policy
+	transport   Transport
+	s           *sim.Sim
 }
 
-func (c Config) withDefaults() Config {
-	if c.Replicas == 0 {
-		c.Replicas = 3
-	}
-	if c.MsgLatency == nil {
-		c.MsgLatency = simnet.Jitter{Base: 5 * time.Millisecond, Spread: 2 * time.Millisecond}
-	}
-	if c.CallTimeout == 0 {
-		c.CallTimeout = 100 * time.Millisecond
-	}
-	return c
-}
+// Option configures a Cluster at construction.
+type Option func(*config)
 
-// Result reports the outcome of one Submit.
+// WithReplicas sets the replica count (default 3; values below 1 fall
+// back to the default, matching the old zero-value Config semantics).
+func WithReplicas(n int) Option { return func(c *config) { c.replicas = n } }
+
+// WithLatency sets the per-message delivery latency model. On the
+// simulator the default is 5ms ± 2ms (cross-site links); the live
+// transport defaults to no artificial delay. New panics if the chosen
+// transport cannot honour an explicit latency model.
+func WithLatency(l simnet.Latency) Option { return func(c *config) { c.latency = l } }
+
+// WithCallTimeout bounds every replica-to-replica call (default 100ms).
+func WithCallTimeout(d time.Duration) Option { return func(c *config) { c.callTimeout = d } }
+
+// WithGossipEvery starts background anti-entropy gossip at the given
+// interval as soon as the cluster is built; Close (or StopGossip) stops
+// it. Without this option, gossip runs only when the caller invokes
+// GossipRound or StartGossip.
+func WithGossipEvery(d time.Duration) Option { return func(c *config) { c.gossipEvery = d } }
+
+// WithDefaultPolicy sets the risk policy used by submits that do not
+// carry a WithPolicy option (default policy.AlwaysAsync — guess on
+// everything).
+func WithDefaultPolicy(p policy.Policy) Option { return func(c *config) { c.defPolicy = p } }
+
+// WithTransport runs the cluster on the given transport. Mutually
+// exclusive with WithSim; without either, the cluster runs on a fresh
+// LiveTransport (real goroutines, wall-clock time).
+func WithTransport(t Transport) Option { return func(c *config) { c.transport = t } }
+
+// WithSim runs the cluster on a fresh deterministic SimTransport bound to
+// simulator s — its own private network, so several clusters can share
+// one simulation without node-name collisions.
+func WithSim(s *sim.Sim) Option { return func(c *config) { c.s = s } }
+
+// Result reports the outcome of one submit.
 type Result struct {
 	Accepted bool
 	Decision policy.Decision
 	Latency  time.Duration
-	Op       oplog.Entry
+	Op       Op
 	Reason   string // why a submit was declined
 }
 
@@ -108,37 +160,87 @@ type Metrics struct {
 
 // Cluster is a set of replicas plus the shared apology queue.
 type Cluster[S any] struct {
-	s     *sim.Sim
-	net   *simnet.Network
-	cfg   Config
-	app   App[S]
-	rules []Rule[S]
-	reps  []*Replica[S]
+	tr         Transport
+	cfg        config
+	app        App[S]
+	rules      []Rule[S]
+	hasAdmit   bool // any rule has an Admit check
+	hasViolate bool // any rule has a Violated sweep
+	reps       []*Replica[S]
+	stopGossip func()
 
 	Apologies *apology.Queue
 	M         Metrics
 }
 
-// NewCluster builds a cluster of cfg.Replicas replicas named r0, r1, ...
-// sharing one apology queue.
-func NewCluster[S any](s *sim.Sim, cfg Config, app App[S], rules ...Rule[S]) *Cluster[S] {
-	cfg = cfg.withDefaults()
+// New builds a cluster of replicas named r0, r1, ... sharing one apology
+// queue. rules may be nil. By default the cluster runs three replicas on
+// a fresh live (goroutine) transport with the AlwaysAsync risk policy;
+// options select the simulator, tune timeouts and latency, and start
+// background gossip.
+func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
+	cfg := config{
+		replicas:    3,
+		callTimeout: 100 * time.Millisecond,
+		defPolicy:   policy.AlwaysAsync(),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.replicas < 1 {
+		cfg.replicas = 3
+	}
+	tr := cfg.transport
+	if tr == nil {
+		if cfg.s != nil {
+			tr = NewSimTransport(cfg.s)
+		} else {
+			tr = NewLiveTransport()
+		}
+	}
+	if cfg.latency != nil {
+		lt, ok := tr.(interface{ SetLatency(simnet.Latency) })
+		if !ok {
+			// Silently dropping an explicit latency model would skew every
+			// timing result; a config error should be loud.
+			panic(fmt.Sprintf("quicksand: WithLatency is not supported by transport %T", tr))
+		}
+		lt.SetLatency(cfg.latency)
+	}
 	c := &Cluster[S]{
-		s:         s,
-		net:       simnet.New(s, simnet.WithLatency(cfg.MsgLatency)),
+		tr:        tr,
 		cfg:       cfg,
 		app:       app,
 		rules:     rules,
 		Apologies: apology.NewQueue(),
 	}
-	for i := 0; i < cfg.Replicas; i++ {
+	for _, rule := range rules {
+		c.hasAdmit = c.hasAdmit || rule.Admit != nil
+		c.hasViolate = c.hasViolate || rule.Violated != nil
+	}
+	for i := 0; i < cfg.replicas; i++ {
 		c.reps = append(c.reps, newReplica(c, fmt.Sprintf("r%d", i)))
+	}
+	if cfg.gossipEvery > 0 {
+		c.stopGossip = tr.Every(cfg.gossipEvery, c.GossipRound)
 	}
 	return c
 }
 
-// Net exposes the network for fault injection and partitions.
-func (c *Cluster[S]) Net() *simnet.Network { return c.net }
+// Transport returns the transport the cluster runs on.
+func (c *Cluster[S]) Transport() Transport { return c.tr }
+
+// Net exposes the simulated network for fault injection and partitions
+// when the cluster runs on a SimTransport, and returns nil otherwise.
+func (c *Cluster[S]) Net() *simnet.Network {
+	if st, ok := c.tr.(*SimTransport); ok {
+		return st.Net()
+	}
+	return nil
+}
+
+// Now returns the transport's current time.
+func (c *Cluster[S]) Now() sim.Time { return c.tr.Now() }
 
 // Replicas reports the replica count.
 func (c *Cluster[S]) Replicas() int { return len(c.reps) }
@@ -146,48 +248,165 @@ func (c *Cluster[S]) Replicas() int { return len(c.reps) }
 // Replica returns replica i.
 func (c *Cluster[S]) Replica(i int) *Replica[S] { return c.reps[i] }
 
-// Submit offers one operation at replica i, assigning a fresh ingress
-// uniquifier. pol routes it (async guess or synchronous coordination);
-// done receives the outcome. Submitting at a crashed replica is refused.
-func (c *Cluster[S]) Submit(i int, kind, key string, arg int64, note string, pol policy.Policy, done func(Result)) {
-	rep := c.reps[i]
-	op := oplog.Entry{ID: rep.gen.Next(), Kind: kind, Key: key, Arg: arg, At: c.s.Now(), Note: note}
-	c.SubmitOp(i, op, pol, done)
+// CallTimeout reports the configured replica-to-replica call timeout.
+func (c *Cluster[S]) CallTimeout() time.Duration { return c.cfg.callTimeout }
+
+// DefaultPolicy reports the risk policy used when a submit carries no
+// WithPolicy option.
+func (c *Cluster[S]) DefaultPolicy() policy.Policy { return c.cfg.defPolicy }
+
+// GossipInterval reports the WithGossipEvery interval (0 when background
+// gossip was not requested).
+func (c *Cluster[S]) GossipInterval() time.Duration { return c.cfg.gossipEvery }
+
+// submitConfig collects per-submit options.
+type submitConfig struct {
+	pol  policy.Policy
+	note string
 }
 
-// SubmitOp offers a caller-built operation at replica i. The caller owns
-// the uniquifier — how a check number (§6.2) or a content hash (§2.1)
-// becomes the operation identity. An op with an empty ID gets an ingress
-// one; an op whose ID was already seen at this replica is accepted
-// idempotently without re-recording.
-func (c *Cluster[S]) SubmitOp(i int, op oplog.Entry, pol policy.Policy, done func(Result)) {
-	rep := c.reps[i]
+// SubmitOption configures one Submit, SubmitBatch, or SubmitAsync call.
+type SubmitOption func(*submitConfig)
+
+// WithPolicy routes this submit with p instead of the cluster's default
+// risk policy — the per-operation "stomach for risk" dial of §5.5.
+func WithPolicy(p policy.Policy) SubmitOption { return func(sc *submitConfig) { sc.pol = p } }
+
+// WithNote attaches a free-form annotation to the operation (ignored when
+// the op already carries one).
+func WithNote(note string) SubmitOption { return func(sc *submitConfig) { sc.note = note } }
+
+func (c *Cluster[S]) submitConfig(opts []SubmitOption) submitConfig {
+	sc := submitConfig{pol: c.cfg.defPolicy}
+	for _, o := range opts {
+		o(&sc)
+	}
+	return sc
+}
+
+// Submit offers one operation at the given replica and blocks until the
+// outcome is known, driving the transport as needed. Business declines
+// (a rule refused, coordination failed, the replica is down) come back as
+// a Result with Accepted=false and a Reason; the error reports
+// infrastructure failures only — context cancellation or a stalled
+// transport.
+//
+// On a SimTransport, Submit steps the event loop until the result
+// resolves; it must not be called from inside a simulator callback (use
+// SubmitAsync there).
+func (c *Cluster[S]) Submit(ctx context.Context, replica int, op Op, opts ...SubmitOption) (Result, error) {
+	if replica < 0 || replica >= len(c.reps) {
+		return Result{Op: op}, fmt.Errorf("quicksand: no replica %d in a cluster of %d", replica, len(c.reps))
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Op: op}, err
+	}
+	ready := make(chan struct{})
+	var res Result
+	c.dispatch(c.reps[replica], op, c.submitConfig(opts), func(r Result) {
+		res = r
+		close(ready)
+	})
+	if err := c.tr.Await(ctx, ready); err != nil {
+		return Result{Op: op}, err
+	}
+	return res, nil
+}
+
+// SubmitBatch offers a batch of operations at the given replica and
+// blocks until every outcome is known. Results align with ops by index.
+// Batching amortizes the transport-driving cost of Submit across many
+// operations — the throughput path for bulk ingest.
+func (c *Cluster[S]) SubmitBatch(ctx context.Context, replica int, ops []Op, opts ...SubmitOption) ([]Result, error) {
+	if replica < 0 || replica >= len(c.reps) {
+		return nil, fmt.Errorf("quicksand: no replica %d in a cluster of %d", replica, len(c.reps))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	sc := c.submitConfig(opts)
+	rep := c.reps[replica]
+	results := make([]Result, len(ops))
+	ready := make(chan struct{})
+	var pending atomic.Int64
+	pending.Store(int64(len(ops)))
+	for i, op := range ops {
+		c.dispatch(rep, op, sc, func(r Result) {
+			results[i] = r
+			if pending.Add(-1) == 0 {
+				close(ready)
+			}
+		})
+	}
+	if err := c.tr.Await(ctx, ready); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SubmitAsync offers one operation without blocking; done (which may be
+// nil) fires exactly once when the outcome is known. This is the dispatch
+// path for callers that live inside a simulated event loop — experiments
+// and workload generators — where the blocking Submit would re-enter the
+// scheduler.
+func (c *Cluster[S]) SubmitAsync(replica int, op Op, done func(Result), opts ...SubmitOption) {
+	if done == nil {
+		done = func(Result) {}
+	}
+	if replica < 0 || replica >= len(c.reps) {
+		done(Result{Op: op, Reason: fmt.Sprintf("no replica %d in a cluster of %d", replica, len(c.reps))})
+		return
+	}
+	c.dispatch(c.reps[replica], op, c.submitConfig(opts), done)
+}
+
+// SubmitOp offers a caller-built operation at replica i.
+//
+// Deprecated: SubmitOp is the pre-context callback API. Use Submit (or
+// SubmitAsync with WithPolicy inside simulator callbacks) instead.
+func (c *Cluster[S]) SubmitOp(i int, op Op, pol policy.Policy, done func(Result)) {
+	c.SubmitAsync(i, op, done, WithPolicy(pol))
+}
+
+// dispatch routes one operation at rep: fill in ingress identity, check
+// idempotency, then take the guess path or the coordinated path as the
+// policy decides. done fires exactly once.
+func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func(Result)) {
 	if op.ID == "" {
 		op.ID = rep.gen.Next()
 	}
 	if op.At == 0 {
-		op.At = c.s.Now()
+		op.At = c.tr.Now()
 	}
+	if op.Note == "" {
+		op.Note = sc.note
+	}
+	if rep.node.Crashed() {
+		done(Result{Op: op, Reason: "replica down"})
+		return
+	}
+	rep.mu.Lock()
 	if op.Lam == 0 {
 		// Lamport ingress stamp: the new op sorts after everything this
 		// replica has seen, so causes fold before their effects.
 		op.Lam = rep.lamport + 1
 	}
-	if rep.ep.Crashed() {
-		done(Result{Op: op, Reason: "replica down"})
-		return
-	}
-	if rep.ops.Contains(op.ID) {
+	seen := rep.ops.Contains(op.ID)
+	rep.mu.Unlock()
+	if seen {
 		// A retry of work this replica already did: idempotent accept.
 		c.M.Accepted.Inc()
 		done(Result{Accepted: true, Op: op, Decision: policy.Async})
 		return
 	}
-	start := c.s.Now()
-	switch pol.Decide(op) {
+	start := c.tr.Now()
+	switch sc.pol.Decide(op) {
 	case policy.Async:
 		res := rep.submitLocal(op)
-		res.Latency = c.s.Now().Sub(start)
+		res.Latency = c.tr.Now().Sub(start)
 		if res.Accepted {
 			c.M.Accepted.Inc()
 			c.M.AsyncLat.AddDur(res.Latency)
@@ -197,7 +416,7 @@ func (c *Cluster[S]) SubmitOp(i int, op oplog.Entry, pol policy.Policy, done fun
 		done(res)
 	case policy.Sync:
 		rep.submitSync(op, func(res Result) {
-			res.Latency = c.s.Now().Sub(start)
+			res.Latency = c.tr.Now().Sub(start)
 			if res.Accepted {
 				c.M.Accepted.Inc()
 				c.M.SyncAccepted.Inc()
@@ -217,7 +436,7 @@ func (c *Cluster[S]) GossipRound() {
 	n := len(c.reps)
 	for i, rep := range c.reps {
 		peer := c.reps[(i+1)%n]
-		if !rep.ep.Crashed() && !peer.ep.Crashed() && c.net.Reachable(rep.ep.ID(), peer.ep.ID()) {
+		if !rep.node.Crashed() && !peer.node.Crashed() && c.tr.Reachable(rep.id, peer.id) {
 			rep.pushTo(peer.id)
 		}
 	}
@@ -226,13 +445,30 @@ func (c *Cluster[S]) GossipRound() {
 // StartGossip runs GossipRound every interval until the returned stop
 // function is called.
 func (c *Cluster[S]) StartGossip(interval time.Duration) (stop func()) {
-	return c.s.Every(interval, c.GossipRound)
+	return c.tr.Every(interval, c.GossipRound)
 }
 
+// StopGossip cancels the background gossip started by WithGossipEvery.
+func (c *Cluster[S]) StopGossip() {
+	if c.stopGossip != nil {
+		c.stopGossip()
+		c.stopGossip = nil
+	}
+}
+
+// Close releases the cluster's background resources (today: gossip started
+// by WithGossipEvery). Replicas and their state remain readable.
+func (c *Cluster[S]) Close() { c.StopGossip() }
+
 // Converged reports whether every replica holds the same operation set.
+// It compares sets in place (no copies), so polling it in a convergence
+// loop stays cheap even with large ledgers.
 func (c *Cluster[S]) Converged() bool {
+	if len(c.reps) == 0 {
+		return true
+	}
 	for i := 1; i < len(c.reps); i++ {
-		if !c.reps[0].ops.Equal(c.reps[i].ops) {
+		if !c.reps[0].sameOps(c.reps[i]) {
 			return false
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -63,19 +64,17 @@ func noOverdraft() Rule[counterState] {
 
 func newTestCluster(seed int64, replicas int, rules ...Rule[counterState]) (*sim.Sim, *Cluster[counterState]) {
 	s := sim.New(seed)
-	c := NewCluster[counterState](s, Config{Replicas: replicas}, counterApp{}, rules...)
+	c := New[counterState](counterApp{}, rules, WithSim(s), WithReplicas(replicas))
 	return s, c
 }
 
 func submit(t *testing.T, s *sim.Sim, c *Cluster[counterState], rep int, kind, key string, arg int64, pol policy.Policy) Result {
 	t.Helper()
-	var res Result
-	fired := false
-	c.Submit(rep, kind, key, arg, "", pol, func(r Result) { fired, res = true, r })
-	s.Run()
-	if !fired {
-		t.Fatal("submit never resolved")
+	res, err := c.Submit(context.Background(), rep, NewOp(kind, key, arg), WithPolicy(pol))
+	if err != nil {
+		t.Fatalf("submit error: %v", err)
 	}
+	s.Run() // drain events left after the result resolved
 	return res
 }
 
@@ -371,7 +370,7 @@ func TestPropConvergenceUnderRandomGossip(t *testing.T) {
 			if r.Intn(2) == 0 {
 				kind = "debit"
 			}
-			c.Submit(rep, kind, "acct", arg, "", policy.AlwaysAsync(), func(Result) {})
+			c.SubmitAsync(rep, NewOp(kind, "acct", arg), nil, WithPolicy(policy.AlwaysAsync()))
 			if kind == "credit" {
 				want += arg
 			} else {

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/apology"
 	"repro/internal/oplog"
 	"repro/internal/policy"
-	"repro/internal/rpc"
-	"repro/internal/simnet"
 	"repro/internal/uniq"
 )
 
@@ -24,12 +24,19 @@ type (
 // Replica is one eventually consistent copy of the application. Its
 // operation set survives crashes (the disk does); a crashed replica simply
 // stops talking until revived.
+//
+// A replica's mutable state is guarded by a mutex so the same code runs
+// on the single-threaded simulator and on the concurrent live transport.
+// The lock is never held across a transport call — cross-replica calls
+// therefore cannot deadlock, at the usual eventual-consistency price: an
+// admission check is a guess against a snapshot, exactly as §5.1 demands.
 type Replica[S any] struct {
-	c   *Cluster[S]
-	id  string
-	ep  *rpc.Endpoint
-	gen *uniq.Gen
+	c    *Cluster[S]
+	id   string
+	node Node
+	gen  *uniq.Gen
 
+	mu      sync.Mutex
 	ops     *oplog.Set
 	journal []oplog.Entry  // arrival order, for incremental gossip
 	sentTo  map[string]int // journal prefix acked by each peer
@@ -50,10 +57,10 @@ func newReplica[S any](c *Cluster[S], id string) *Replica[S] {
 		sentTo: make(map[string]int),
 		state:  c.app.Init(),
 	}
-	r.ep = rpc.NewEndpoint(c.net, simnet.NodeID(id), c.cfg.CallTimeout)
-	r.ep.Handle("push", r.handlePush)
-	r.ep.Handle("admit", r.handleAdmit)
-	r.ep.Handle("apply", r.handleApply)
+	r.node = c.tr.Node(id, c.cfg.callTimeout)
+	r.node.Handle("push", r.handlePush)
+	r.node.Handle("admit", r.handleAdmit)
+	r.node.Handle("apply", r.handleApply)
 	return r
 }
 
@@ -61,14 +68,43 @@ func newReplica[S any](c *Cluster[S], id string) *Replica[S] {
 func (r *Replica[S]) ID() string { return r.id }
 
 // OpCount reports how many distinct operations this replica has seen.
-func (r *Replica[S]) OpCount() int { return r.ops.Len() }
+func (r *Replica[S]) OpCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops.Len()
+}
 
 // Ops returns a copy of the replica's operation set.
-func (r *Replica[S]) Ops() *oplog.Set { return r.ops.Copy() }
+func (r *Replica[S]) Ops() *oplog.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops.Copy()
+}
+
+// sameOps reports whether both replicas hold identical operation sets,
+// without copying either. Cluster.Converged always passes replica 0 as
+// the receiver, so the two locks are taken in a globally consistent
+// order and concurrent polls cannot deadlock.
+func (r *Replica[S]) sameOps(o *Replica[S]) bool {
+	if r == o {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return r.ops.Equal(o.ops)
+}
 
 // State derives (and caches) the application state by folding the
 // operation set in canonical order.
 func (r *Replica[S]) State() S {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stateLocked()
+}
+
+func (r *Replica[S]) stateLocked() S {
 	if r.stateDirty {
 		r.state = oplog.Fold(r.ops, r.c.app.Init(), r.c.app.Step)
 		r.stateDirty = false
@@ -76,31 +112,48 @@ func (r *Replica[S]) State() S {
 	return r.state
 }
 
-// absorb unions entries into the set, updates the ledger, and sweeps for
-// newly exposed rule violations. It returns how many entries were new.
-func (r *Replica[S]) absorb(entries []oplog.Entry, how string) int {
-	added := 0
+// absorbLocked unions entries into the set and returns the ones that were
+// new. The caller holds r.mu.
+func (r *Replica[S]) absorbLocked(entries []oplog.Entry) []oplog.Entry {
+	var added []oplog.Entry
 	for _, e := range entries {
 		if r.ops.Add(e) {
-			added++
 			if e.Lam > r.lamport {
 				r.lamport = e.Lam
 			}
 			r.journal = append(r.journal, e)
-			r.Ledger.Record(r.c.s.Now(), apology.Memory, r.id, how+" "+e.Kind+" "+e.Key, e.ID)
+			added = append(added, e)
 		}
 	}
-	if added > 0 {
+	if len(added) > 0 {
 		r.stateDirty = true
-		r.sweepViolations()
 	}
 	return added
+}
+
+// absorb unions entries into the set, updates the ledger, and sweeps for
+// newly exposed rule violations. It returns how many entries were new.
+func (r *Replica[S]) absorb(entries []oplog.Entry, how string) int {
+	r.mu.Lock()
+	added := r.absorbLocked(entries)
+	r.mu.Unlock()
+	now := r.c.tr.Now()
+	for _, e := range added {
+		r.Ledger.Record(now, apology.Memory, r.id, how+" "+e.Kind+" "+e.Key, e.ID)
+	}
+	if len(added) > 0 {
+		r.sweepViolations()
+	}
+	return len(added)
 }
 
 // sweepViolations evaluates every rule's Violated check against the
 // current state; new violations become apologies. The queue dedupes by
 // content, so the same overdraft found at three replicas is one apology.
 func (r *Replica[S]) sweepViolations() {
+	if !r.c.hasViolate {
+		return
+	}
 	state := r.State()
 	for _, rule := range r.c.rules {
 		if rule.Violated == nil {
@@ -110,7 +163,7 @@ func (r *Replica[S]) sweepViolations() {
 			a := apology.NewApology(rule.Name, v.Detail, v.Amount, r.id)
 			a.Key = v.Key
 			if r.c.Apologies.Submit(a) {
-				r.Ledger.Record(r.c.s.Now(), apology.Regret, r.id, rule.Name+": "+v.Detail, a.ID)
+				r.Ledger.Record(r.c.tr.Now(), apology.Regret, r.id, rule.Name+": "+v.Detail, a.ID)
 			}
 		}
 	}
@@ -119,14 +172,26 @@ func (r *Replica[S]) sweepViolations() {
 // submitLocal is the async path: admit against the local guess, record,
 // move on. The guess is remembered in the ledger.
 func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
-	state := r.State()
-	for _, rule := range r.c.rules {
-		if rule.Admit != nil && !rule.Admit(state, op) {
-			return Result{Op: op, Reason: "declined by rule " + rule.Name}
+	r.mu.Lock()
+	if r.c.hasAdmit {
+		// Deriving state is the expensive part of admission; rule-free
+		// clusters skip it and ingest in O(1).
+		state := r.stateLocked()
+		for _, rule := range r.c.rules {
+			if rule.Admit != nil && !rule.Admit(state, op) {
+				r.mu.Unlock()
+				return Result{Op: op, Reason: "declined by rule " + rule.Name}
+			}
 		}
 	}
-	r.absorb([]oplog.Entry{op}, "local")
-	r.Ledger.Record(r.c.s.Now(), apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
+	added := r.absorbLocked([]oplog.Entry{op})
+	r.mu.Unlock()
+	now := r.c.tr.Now()
+	if len(added) > 0 {
+		r.Ledger.Record(now, apology.Memory, r.id, "local "+op.Kind+" "+op.Key, op.ID)
+		r.sweepViolations()
+	}
+	r.Ledger.Record(now, apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
 	return Result{Accepted: true, Op: op, Decision: policy.Async}
 }
 
@@ -136,20 +201,22 @@ func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
 // operation; being conservative is the point of paying for coordination.
 func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 	// Local admission first.
-	state := r.State()
-	for _, rule := range r.c.rules {
-		if rule.Admit != nil && !rule.Admit(state, op) {
-			done(Result{Op: op, Reason: "declined by rule " + rule.Name, Decision: policy.Sync})
-			return
+	if r.c.hasAdmit {
+		state := r.State()
+		for _, rule := range r.c.rules {
+			if rule.Admit != nil && !rule.Admit(state, op) {
+				done(Result{Op: op, Reason: "declined by rule " + rule.Name, Decision: policy.Sync})
+				return
+			}
 		}
 	}
-	var peers []simnet.NodeID
+	var peers []string
 	for _, other := range r.c.reps {
 		if other != r {
-			peers = append(peers, other.ep.ID())
+			peers = append(peers, other.id)
 		}
 	}
-	r.ep.Broadcast(peers, "admit", admitReq{Op: op}, func(resps []any, oks int) {
+	r.node.Broadcast(peers, "admit", admitReq{Op: op}, func(resps []any, oks int) {
 		if oks != len(peers) {
 			done(Result{Op: op, Reason: "coordination failed: replica unreachable", Decision: policy.Sync})
 			return
@@ -162,7 +229,7 @@ func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 		}
 		// All agreed: apply everywhere synchronously, then ack.
 		r.absorb([]oplog.Entry{op}, "sync")
-		r.ep.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
+		r.node.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
 			done(Result{Accepted: true, Op: op, Decision: policy.Sync})
 		})
 	})
@@ -171,42 +238,51 @@ func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 // pushTo sends the journal suffix the peer has not acknowledged, and asks
 // the peer to reciprocate — one push-pull pair of an anti-entropy round.
 func (r *Replica[S]) pushTo(peer string) {
+	r.mu.Lock()
 	from := r.sentTo[peer]
 	entries := append([]oplog.Entry(nil), r.journal[from:]...)
 	end := len(r.journal)
+	r.mu.Unlock()
 	r.c.M.OpsTransferred.Addn(int64(len(entries)))
-	r.ep.Call(simnet.NodeID(peer), "push", pushReq{From: r.id, Entries: entries}, func(resp any, ok bool) {
+	r.node.Call(peer, "push", pushReq{From: r.id, Entries: entries}, func(resp any, ok bool) {
 		if ok && resp.(pushAck).OK {
+			r.mu.Lock()
 			if end > r.sentTo[peer] {
 				r.sentTo[peer] = end
 			}
+			r.mu.Unlock()
 		}
 	})
 }
 
-func (r *Replica[S]) handlePush(from simnet.NodeID, req any, reply func(any)) {
+func (r *Replica[S]) handlePush(from string, req any, reply func(any)) {
 	p := req.(pushReq)
 	r.absorb(p.Entries, "gossip")
 	reply(pushAck{OK: true})
 	// Reciprocate if this replica knows things the pusher might not.
-	if r.sentTo[p.From] < len(r.journal) {
+	r.mu.Lock()
+	behind := r.sentTo[p.From] < len(r.journal)
+	r.mu.Unlock()
+	if behind {
 		r.pushTo(p.From)
 	}
 }
 
-func (r *Replica[S]) handleAdmit(from simnet.NodeID, req any, reply func(any)) {
+func (r *Replica[S]) handleAdmit(from string, req any, reply func(any)) {
 	a := req.(admitReq)
-	state := r.State()
-	for _, rule := range r.c.rules {
-		if rule.Admit != nil && !rule.Admit(state, a.Op) {
-			reply(admitAck{OK: false})
-			return
+	if r.c.hasAdmit {
+		state := r.State()
+		for _, rule := range r.c.rules {
+			if rule.Admit != nil && !rule.Admit(state, a.Op) {
+				reply(admitAck{OK: false})
+				return
+			}
 		}
 	}
 	reply(admitAck{OK: true})
 }
 
-func (r *Replica[S]) handleApply(from simnet.NodeID, req any, reply func(any)) {
+func (r *Replica[S]) handleApply(from string, req any, reply func(any)) {
 	a := req.(applyReq)
 	r.absorb([]oplog.Entry{a.Op}, "sync")
 	reply(pushAck{OK: true})

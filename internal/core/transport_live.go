@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// LiveTransport runs a cluster on real goroutines and wall-clock time:
+// every message delivery is a goroutine, every timeout a real timer. It
+// trades the simulator's determinism for true parallelism, which is what
+// `go test -bench` and cmd/quicksand-bench use to measure the engine at
+// hardware speed. Nodes can still be crashed (SetUp) for fault-injection
+// tests; partitions are not modelled — Reachable is always true between
+// registered nodes.
+type LiveTransport struct {
+	mu      sync.Mutex
+	start   time.Time
+	nodes   map[string]*liveNode
+	latency simnet.Latency // optional artificial delivery delay
+	rng     *rand.Rand     // guarded by mu, used only for latency sampling
+}
+
+// NewLiveTransport returns an empty live transport. Messages are delivered
+// as fast as the scheduler allows unless a latency model is installed with
+// SetLatency.
+func NewLiveTransport() *LiveTransport {
+	return &LiveTransport{
+		start: time.Now(),
+		nodes: make(map[string]*liveNode),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// SetLatency installs an artificial per-message delivery delay, so a live
+// cluster can approximate cross-site links while still running on real
+// goroutines. A nil model removes the delay.
+func (t *LiveTransport) SetLatency(l simnet.Latency) {
+	t.mu.Lock()
+	t.latency = l
+	t.mu.Unlock()
+}
+
+// Now returns the wall-clock time elapsed since the transport was built.
+func (t *LiveTransport) Now() sim.Time { return sim.Time(time.Since(t.start)) }
+
+// Node registers a node. Registering the same id twice panics.
+func (t *LiveTransport) Node(id string, callTimeout time.Duration) Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.nodes[id]; dup {
+		panic(fmt.Sprintf("quicksand: live node %q already registered", id))
+	}
+	n := &liveNode{t: t, id: id, timeout: callTimeout, handlers: make(map[string]Handler)}
+	t.nodes[id] = n
+	return n
+}
+
+// Every runs fn every interval on its own goroutine until stopped.
+func (t *LiveTransport) Every(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("quicksand: Every interval must be positive, got %v", interval))
+	}
+	ticker := time.NewTicker(interval)
+	quit := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				fn()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			ticker.Stop()
+			close(quit)
+		})
+	}
+}
+
+// Await blocks until ready closes or ctx is done. Real goroutines make
+// their own progress, so there is nothing to drive.
+func (t *LiveTransport) Await(ctx context.Context, ready <-chan struct{}) error {
+	select {
+	case <-ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SetUp marks a node alive or crashed. A crashed node sends nothing and
+// receives nothing; messages in flight to it are dropped at delivery.
+func (t *LiveTransport) SetUp(id string, up bool) { t.node(id).setUp(up) }
+
+// IsUp reports whether the node is alive.
+func (t *LiveTransport) IsUp(id string) bool { return !t.node(id).Crashed() }
+
+// Reachable reports whether both nodes are registered; the live transport
+// does not model partitions.
+func (t *LiveTransport) Reachable(a, b string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, okA := t.nodes[a]
+	_, okB := t.nodes[b]
+	return okA && okB
+}
+
+func (t *LiveTransport) node(id string) *liveNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("quicksand: unknown live node %q", id))
+	}
+	return n
+}
+
+// deliver runs fn on a fresh goroutine, after the sampled artificial
+// latency if a model is installed.
+func (t *LiveTransport) deliver(fn func()) {
+	t.mu.Lock()
+	l := t.latency
+	var d time.Duration
+	if l != nil {
+		d = l.Sample(t.rng)
+	}
+	t.mu.Unlock()
+	if d > 0 {
+		time.AfterFunc(d, fn)
+		return
+	}
+	go fn()
+}
+
+// liveNode is one participant on a LiveTransport. Handler registration
+// happens before traffic starts; the handlers map is read-only afterwards.
+type liveNode struct {
+	t        *LiveTransport
+	id       string
+	timeout  time.Duration
+	mu       sync.Mutex
+	handlers map[string]Handler
+	down     bool
+}
+
+func (n *liveNode) ID() string { return n.id }
+
+func (n *liveNode) Crashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+func (n *liveNode) setUp(up bool) {
+	n.mu.Lock()
+	n.down = !up
+	n.mu.Unlock()
+}
+
+func (n *liveNode) Handle(method string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.handlers[method]; dup {
+		panic(fmt.Sprintf("quicksand: duplicate handler for %q on %q", method, n.id))
+	}
+	n.handlers[method] = h
+}
+
+func (n *liveNode) handler(method string) Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.handlers[method]
+	if !ok {
+		panic(fmt.Sprintf("quicksand: node %q has no handler for %q", n.id, method))
+	}
+	return h
+}
+
+// Call matches the fail-fast semantics of the simulated rpc layer: a
+// crashed sender sends nothing (the caller observes a timeout), a crashed
+// receiver drops the message, and a reply landing after the deadline is
+// discarded.
+func (n *liveNode) Call(to string, method string, req any, done func(resp any, ok bool)) {
+	var once sync.Once
+	fire := func(resp any, ok bool) {
+		once.Do(func() {
+			if done != nil {
+				done(resp, ok)
+			}
+		})
+	}
+	timer := time.AfterFunc(n.timeout, func() { fire(nil, false) })
+	if n.Crashed() {
+		return // a stopped process sends nothing; the timer reports it
+	}
+	peer := n.t.node(to)
+	n.t.deliver(func() {
+		if peer.Crashed() {
+			return
+		}
+		replied := false
+		peer.handler(method)(n.id, req, func(resp any) {
+			if replied {
+				panic(fmt.Sprintf("quicksand: double reply to %q on %q", method, peer.id))
+			}
+			replied = true
+			if n.Crashed() {
+				return // response to a crashed caller is lost
+			}
+			n.t.deliver(func() {
+				timer.Stop()
+				fire(resp, true)
+			})
+		})
+	})
+}
+
+func (n *liveNode) Broadcast(to []string, method string, req any, done func(resps []any, oks int)) {
+	if len(to) == 0 {
+		done(nil, 0)
+		return
+	}
+	var mu sync.Mutex
+	var resps []any
+	oks, remaining := 0, len(to)
+	for _, peer := range to {
+		n.Call(peer, method, req, func(resp any, ok bool) {
+			mu.Lock()
+			if ok {
+				resps = append(resps, resp)
+				oks++
+			}
+			remaining--
+			last := remaining == 0
+			r, o := resps, oks
+			mu.Unlock()
+			if last {
+				done(r, o)
+			}
+		})
+	}
+}

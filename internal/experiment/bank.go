@@ -40,7 +40,7 @@ func E6BankClearing() Experiment {
 			for _, replicas := range []int{2, 3, 5} {
 				for _, gossip := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
 					s := sim.New(seed)
-					b := bank.New(s, core.Config{Replicas: replicas}, 30_00)
+					b := bank.New(30_00, core.WithSim(s), core.WithReplicas(replicas))
 					seedAccounts(s, b, 20, 100_00)
 
 					r := s.Rand()
@@ -146,7 +146,7 @@ func E10RiskPolicy() Experiment {
 			}
 			for _, th := range thresholds {
 				s := sim.New(seed)
-				b := bank.New(s, core.Config{Replicas: 3}, 30_00)
+				b := bank.New(30_00, core.WithSim(s), core.WithReplicas(3))
 				seedAccounts(s, b, 20, 50_000_00)
 				r := s.Rand()
 				keys := workload.UniformKeys(r, "acct", 20)

@@ -59,7 +59,8 @@ func E12CAPAvailability() Experiment {
 			// ACID 2.0 gossip cluster.
 			{
 				s := sim.New(seed)
-				c := core.NewCluster[int64](s, core.Config{Replicas: 3, CallTimeout: 30 * time.Millisecond}, capApp{})
+				c := core.New[int64](capApp{}, nil,
+					core.WithSim(s), core.WithReplicas(3), core.WithCallTimeout(30*time.Millisecond))
 				nodes := []simnet.NodeID{"r0", "r1", "r2"}
 				inj := failure.NewInjector(s, c.Net(), nodes, mtbf, mttr, nil).Start()
 				stop := c.StartGossip(50 * time.Millisecond)
@@ -74,11 +75,11 @@ func E12CAPAvailability() Experiment {
 							break
 						}
 					}
-					c.Submit(rep, "op", "k", 1, "", policy.AlwaysAsync(), func(res core.Result) {
+					c.SubmitAsync(rep, core.NewOp("op", "k", 1), func(res core.Result) {
 						if res.Accepted {
 							ok++
 						}
-					})
+					}, core.WithPolicy(policy.AlwaysAsync()))
 				})
 				s.RunUntil(sim.Time(8 * time.Second))
 				inj.Stop()

@@ -164,6 +164,14 @@ func (n *Network) Reachable(a, b NodeID) bool {
 	return na.group == nb.group
 }
 
+// SetLatency replaces the default link latency model. A nil model is
+// ignored.
+func (n *Network) SetLatency(l Latency) {
+	if l != nil {
+		n.latency = l
+	}
+}
+
 // SetLinkLatency overrides latency on the (symmetric) link between a and b.
 func (n *Network) SetLinkLatency(a, b NodeID, l Latency) {
 	n.links[linkKey(a, b)] = l

@@ -11,31 +11,48 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Histogram collects float64 samples and answers summary queries. It keeps
 // the raw samples (experiments here are small enough for that to be cheap)
-// so percentiles are exact rather than bucketed approximations.
+// so percentiles are exact rather than bucketed approximations. Histograms
+// are safe for concurrent use: simulated systems never contend, but the
+// live goroutine transport records latencies from many submitters at once.
 type Histogram struct {
+	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
 	h.samples = append(h.samples, v)
 	h.sorted = false
+	h.mu.Unlock()
 }
 
 // AddDur records a duration sample in nanoseconds.
 func (h *Histogram) AddDur(d time.Duration) { h.Add(float64(d)) }
 
 // Count reports the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
 
 // Sum reports the sum of all samples.
 func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sumLocked()
+}
+
+func (h *Histogram) sumLocked() float64 {
 	s := 0.0
 	for _, v := range h.samples {
 		s += v
@@ -45,20 +62,28 @@ func (h *Histogram) Sum() float64 {
 
 // Mean reports the arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *Histogram) meanLocked() float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	return h.Sum() / float64(len(h.samples))
+	return h.sumLocked() / float64(len(h.samples))
 }
 
 // Stddev reports the population standard deviation, or 0 with fewer than
 // two samples.
 func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n < 2 {
 		return 0
 	}
-	m := h.Mean()
+	m := h.meanLocked()
 	ss := 0.0
 	for _, v := range h.samples {
 		d := v - m
@@ -67,7 +92,7 @@ func (h *Histogram) Stddev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
-func (h *Histogram) sort() {
+func (h *Histogram) sortLocked() {
 	if !h.sorted {
 		sort.Float64s(h.samples)
 		h.sorted = true
@@ -76,30 +101,36 @@ func (h *Histogram) sort() {
 
 // Min reports the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sort()
+	h.sortLocked()
 	return h.samples[0]
 }
 
 // Max reports the largest sample, or 0 with no samples.
 func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	h.sort()
+	h.sortLocked()
 	return h.samples[len(h.samples)-1]
 }
 
 // Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank on the
 // sorted samples, or 0 with no samples.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n == 0 {
 		return 0
 	}
-	h.sort()
+	h.sortLocked()
 	if q <= 0 {
 		return h.samples[0]
 	}
@@ -130,31 +161,39 @@ func (h *Histogram) MeanDur() time.Duration { return time.Duration(h.Mean()) }
 
 // Samples returns a copy of the raw samples, in insertion order if no
 // quantile query has run yet (sorted otherwise).
-func (h *Histogram) Samples() []float64 { return append([]float64(nil), h.samples...) }
+func (h *Histogram) Samples() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.samples...)
+}
 
 // Merge folds all of o's samples into h.
 func (h *Histogram) Merge(o *Histogram) {
-	h.samples = append(h.samples, o.samples...)
+	samples := o.Samples()
+	h.mu.Lock()
+	h.samples = append(h.samples, samples...)
 	h.sorted = false
+	h.mu.Unlock()
 }
 
 // QuantileDur interprets the q-quantile as nanoseconds.
 func (h *Histogram) QuantileDur(q float64) time.Duration { return time.Duration(h.Quantile(q)) }
 
-// Counter is a named monotonically increasing tally.
+// Counter is a named monotonically increasing tally, safe for concurrent
+// use.
 type Counter struct {
 	n int64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
 
 // Addn adds delta, which may be negative for callers using Counter as a
 // plain accumulator.
-func (c *Counter) Addn(delta int64) { c.n += delta }
+func (c *Counter) Addn(delta int64) { atomic.AddInt64(&c.n, delta) }
 
 // Value reports the current tally.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.n) }
 
 // Table is a titled grid of cells rendered as aligned text. It is the
 // common output format for every experiment: one Table per paper claim.

@@ -15,6 +15,7 @@ import (
 	"crypto/md5"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 )
 
 // ID is a uniquifier. IDs compare equal exactly when they identify the
@@ -25,7 +26,7 @@ type ID string
 // "node-000042". The node prefix keeps IDs unique across replicas without
 // coordination, exactly as the paper prescribes: the ID is "assigned at
 // the ingress to the system (i.e. whichever replica first handles the
-// work)".
+// work)". Gens are safe for concurrent use.
 type Gen struct {
 	node string
 	seq  uint64
@@ -36,12 +37,11 @@ func NewGen(node string) *Gen { return &Gen{node: node} }
 
 // Next returns a fresh ID.
 func (g *Gen) Next() ID {
-	g.seq++
-	return ID(fmt.Sprintf("%s-%06d", g.node, g.seq))
+	return ID(fmt.Sprintf("%s-%06d", g.node, atomic.AddUint64(&g.seq, 1)))
 }
 
 // Count reports how many IDs the generator has issued.
-func (g *Gen) Count() uint64 { return g.seq }
+func (g *Gen) Count() uint64 { return atomic.LoadUint64(&g.seq) }
 
 // ContentID derives an ID from the request body itself — the MD5 trick of
 // §2.1. Retries of a byte-identical request map to the same ID, making the

@@ -1,0 +1,74 @@
+package quicksand_test
+
+// Wall-clock benchmarks of the ACID 2.0 engine on the live goroutine
+// transport — the concurrency the simulator deliberately cannot exercise.
+// Run with:
+//
+//	go test -bench=Live -benchmem
+//
+// These complement the deterministic experiment benchmarks in
+// bench_test.go: the sim answers "what does the protocol cost", these
+// answer "how fast does the engine go on real hardware".
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	quicksand "repro"
+)
+
+// sumApp is the cheapest commutative application: a running sum. With no
+// rules attached, submits never fold state, so the benchmark measures the
+// engine and transport, not the application.
+type sumApp struct{}
+
+func (sumApp) Init() int64                         { return 0 }
+func (sumApp) Step(s int64, op quicksand.Op) int64 { return s + op.Arg }
+
+// BenchmarkLiveSubmit measures single-op blocking submits spread across
+// the replicas from parallel goroutines, with background gossip running.
+func BenchmarkLiveSubmit(b *testing.B) {
+	c := quicksand.New[int64](sumApp{}, nil,
+		quicksand.WithGossipEvery(time.Millisecond))
+	defer c.Close()
+	ctx := context.Background()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rep := int(next.Add(1)) % c.Replicas()
+		for pb.Next() {
+			if _, err := c.Submit(ctx, rep, quicksand.NewOp("add", "k", 1)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkLiveSubmitBatch measures bulk ingest through SubmitBatch —
+// the throughput path, amortizing the blocking machinery over 100 ops.
+func BenchmarkLiveSubmitBatch(b *testing.B) {
+	c := quicksand.New[int64](sumApp{}, nil,
+		quicksand.WithGossipEvery(time.Millisecond))
+	defer c.Close()
+	ctx := context.Background()
+	const batchSize = 100
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rep := int(next.Add(1)) % c.Replicas()
+		batch := make([]quicksand.Op, batchSize)
+		for pb.Next() {
+			for i := range batch {
+				batch[i] = quicksand.NewOp("add", "k", 1)
+			}
+			if _, err := c.SubmitBatch(ctx, rep, batch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "ops/s")
+}

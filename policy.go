@@ -1,0 +1,42 @@
+package quicksand
+
+// Risk policies, re-exported from internal/policy: the paper's §5.5
+// "stomach for risk" knob, choosing per operation between asynchronous
+// guessing and synchronous coordination (§5.8: synchronous checkpoints OR
+// apologies).
+
+import "repro/internal/policy"
+
+type (
+	// Policy decides the risk path for each operation.
+	Policy = policy.Policy
+	// PolicyFunc adapts a plain function to a Policy.
+	PolicyFunc = policy.Func
+	// Decision is the risk verdict for one operation.
+	Decision = policy.Decision
+)
+
+// The two paths of §5.8.
+const (
+	// Async accepts the operation on local knowledge: low latency, a
+	// guess that may later need an apology.
+	Async = policy.Async
+	// Sync coordinates with every replica before accepting: high latency,
+	// no apology risk for this operation.
+	Sync = policy.Sync
+)
+
+// AlwaysAsync guesses on everything — maximum availability, maximum
+// apology exposure.
+func AlwaysAsync() Policy { return policy.AlwaysAsync() }
+
+// AlwaysSync coordinates everything — the classic consistency choice.
+func AlwaysSync() Policy { return policy.AlwaysSync() }
+
+// Threshold coordinates operations whose Arg (e.g. cents at stake) is at
+// or above limit and guesses below it — the $10,000-check rule verbatim.
+func Threshold(limit int64) Policy { return policy.Threshold(limit) }
+
+// ByKind routes listed operation kinds to Sync and everything else to
+// Async.
+func ByKind(syncKinds ...string) Policy { return policy.ByKind(syncKinds...) }

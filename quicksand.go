@@ -29,11 +29,22 @@
 //     over-provision/over-book spectrum, the seat-reservation pattern, and
 //     the fragile 2PC baseline, §5.3, §7, §2.3.
 //
+// The paper's main contribution — the ACID 2.0 replication engine — is
+// exported directly from this package: build a Cluster with New and
+// functional options (WithReplicas, WithSim, WithGossipEvery, ...),
+// submit typed Ops synchronously with Submit(ctx, ...) or in bulk with
+// SubmitBatch, and pick risk per operation with WithPolicy. The Transport
+// seam runs the same cluster code on the deterministic simulator
+// (SimTransport) for experiments or on real goroutines (LiveTransport)
+// for wall-clock benchmarks. See examples/quickstart and
+// examples/banking for end-to-end use.
+//
 // The derived evaluation lives in internal/experiment (16 experiments,
 // each pinned to a quoted claim); run it with cmd/quicksand-bench or
 // `go test -bench=.` at the module root. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// inventory and README.md for the public API tour.
 package quicksand
 
-// Version identifies this reproduction.
-const Version = "1.0.0"
+// Version identifies this reproduction. 2.0.0 is the public API: typed
+// ops, context-aware submits, functional options, pluggable transports.
+const Version = "2.0.0"
