@@ -22,6 +22,13 @@ type (
 	// App folds operations into application state; Step must tolerate any
 	// canonical fold order (the operations must commute).
 	App[S any] = core.App[S]
+	// Snapshotter is the optional App extension that unlocks checkpointed
+	// incremental folds for reference-typed states: Snapshot must return a
+	// deep copy. Value-typed states (no pointers, maps, slices, channels,
+	// funcs, or interfaces reachable) get this for free; an App with a
+	// reference-typed state that skips Snapshotter falls back to replaying
+	// the ledger from genesis on every change.
+	Snapshotter[S any] = core.Snapshotter[S]
 	// Rule is a probabilistically enforced business rule: Admit gates
 	// submits against the local guess, Violated sweeps merged state.
 	Rule[S any] = core.Rule[S]
@@ -138,6 +145,17 @@ func WithTransport(t Transport) Option { return core.WithTransport(t) }
 // WithSim runs the cluster on a fresh deterministic SimTransport bound to
 // simulator s.
 func WithSim(s *Sim) Option { return core.WithSim(s) }
+
+// WithFoldCheckpointEvery sets how many folded entries separate the
+// periodic fold checkpoint snapshots (default 1024). Snapshots bound the
+// replay a behind-watermark gossip merge forces; 0 disables them.
+func WithFoldCheckpointEvery(n int) Option { return core.WithFoldCheckpointEvery(n) }
+
+// WithFullRefold disables checkpointed incremental folds: every state
+// derivation after a change replays the whole operation set from a fresh
+// Init — the O(ledger) baseline, kept for differential testing and
+// benchmarking.
+func WithFullRefold() Option { return core.WithFullRefold() }
 
 // WithPolicy routes one submit with p instead of the cluster's default
 // risk policy — the per-operation "stomach for risk" dial of §5.5.

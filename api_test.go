@@ -412,3 +412,45 @@ func TestLiveConcurrentSubmitters(t *testing.T) {
 		}
 	}
 }
+
+// TestFoldEnginesAgree is the acceptance check for checkpointed state
+// derivation: the incremental engine and the WithFullRefold baseline must
+// derive identical final states from the same rule-checked workload — on
+// both transports. Deposits commute, so the final balances are a pure
+// function of the converged operation set no matter how gossip interleaved
+// the two runs.
+func TestFoldEnginesAgree(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, h harness) {
+		workload := func(opts ...quicksand.Option) []balances {
+			c, d := h.newCluster(t, opts...)
+			defer c.Close()
+			ctx := context.Background()
+			for i := 0; i < 60; i++ {
+				op := quicksand.NewOp("deposit", fmt.Sprintf("acct-%d", i%5), int64(10+i))
+				op.ID = quicksand.OpID(fmt.Sprintf("wk-%03d", i)) // same ops in both runs
+				if _, err := c.Submit(ctx, i%c.Replicas(), op); err != nil {
+					t.Fatal(err)
+				}
+				if i%7 == 0 {
+					c.GossipRound()
+					d.settle()
+				}
+			}
+			d.converge(t, c)
+			return c.States()
+		}
+		checkpointed := workload()
+		baseline := workload(quicksand.WithFullRefold())
+		for i := range checkpointed {
+			if len(checkpointed[i]) != len(baseline[i]) {
+				t.Fatalf("replica %d: %v vs %v", i, checkpointed[i], baseline[i])
+			}
+			for acct, bal := range baseline[i] {
+				if checkpointed[i][acct] != bal {
+					t.Fatalf("replica %d diverged on %s: checkpointed %d, full refold %d",
+						i, acct, checkpointed[i][acct], bal)
+				}
+			}
+		}
+	})
+}

@@ -79,6 +79,10 @@ func BenchmarkE11Idempotence(b *testing.B) { runExperiment(b, "E11") }
 // under churn (§2.3, §8.2).
 func BenchmarkE12CAPAvailability(b *testing.B) { runExperiment(b, "E12") }
 
+// BenchmarkE13IncrementalFold regenerates E13: checkpointed vs
+// full-refold state derivation cost as the ledger grows (§3.3, §7.6).
+func BenchmarkE13IncrementalFold(b *testing.B) { runExperiment(b, "E13") }
+
 // BenchmarkA1OpVsStateMerge regenerates ablation A1: operation-centric vs
 // state-merge carts (§6.4).
 func BenchmarkA1OpVsStateMerge(b *testing.B) { runExperiment(b, "A1") }

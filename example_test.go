@@ -7,6 +7,7 @@ package quicksand_test
 import (
 	"context"
 	"fmt"
+	"maps"
 
 	quicksand "repro"
 )
@@ -34,6 +35,12 @@ func (exampleApp) Step(s balances, op quicksand.Op) balances {
 	}
 	return ns
 }
+
+// Snapshot returns a deep copy of the balances. Implementing
+// quicksand.Snapshotter keeps admission O(new entries) for this
+// map-backed state: the engine advances a fold checkpoint instead of
+// replaying the ledger.
+func (exampleApp) Snapshot(s balances) balances { return maps.Clone(s) }
 
 // noOverdraft declines checks the local guess cannot cover and reports
 // accounts below zero once merged truth catches up.

@@ -15,6 +15,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"maps"
+	"os"
+	"slices"
 
 	quicksand "repro"
 )
@@ -66,6 +70,14 @@ func (bankApp) Step(s *accounts, op quicksand.Op) *accounts {
 	return s
 }
 
+// Snapshot returns a deep copy of the accounts. Implementing
+// quicksand.Snapshotter lets the engine advance each replica's balance
+// fold from a checkpoint instead of replaying the whole ledger on every
+// admission check.
+func (bankApp) Snapshot(s *accounts) *accounts {
+	return &accounts{bal: maps.Clone(s.bal), uncovered: slices.Clone(s.uncovered)}
+}
+
 // noOverdraft is the probabilistically enforced business rule: each
 // replica guesses from its local balance, and merged truth is swept for
 // violations that become apologies.
@@ -105,7 +117,7 @@ func balance(c *quicksand.Cluster[*accounts], rep int, acct string) float64 {
 	return float64(c.Replica(rep).State().bal[acct]) / 100
 }
 
-func main() {
+func run(out io.Writer) {
 	s := quicksand.NewSim(11)
 	tr := quicksand.NewSimTransport(s)
 	b := quicksand.New[*accounts](bankApp{}, []quicksand.Rule[*accounts]{noOverdraft()},
@@ -123,38 +135,38 @@ func main() {
 		return true
 	})
 
-	fmt.Println("opening deposit of $100, gossiped to both replicas:")
+	fmt.Fprintln(out, "opening deposit of $100, gossiped to both replicas:")
 	res, err := b.Submit(ctx, 0, quicksand.NewOp(kindDeposit, "acct-007", 100_00))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("  deposit accepted=%v\n", res.Accepted)
+	fmt.Fprintf(out, "  deposit accepted=%v\n", res.Accepted)
 	converge(s, b)
-	fmt.Printf("  r0 sees $%.2f, r1 sees $%.2f\n", balance(b, 0, "acct-007"), balance(b, 1, "acct-007"))
+	fmt.Fprintf(out, "  r0 sees $%.2f, r1 sees $%.2f\n", balance(b, 0, "acct-007"), balance(b, 1, "acct-007"))
 
-	fmt.Println("\nthe replicas partition; two $70 checks are presented, one at each:")
+	fmt.Fprintln(out, "\nthe replicas partition; two $70 checks are presented, one at each:")
 	tr.Partition([]string{"r0"}, []string{"r1"})
 	for i, no := range []int{101, 102} {
 		res, err := b.Submit(ctx, i, check("acct-007", no, 70_00))
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("  r%d clears check #%d for $70: accepted=%v (its guess: funds are there)\n",
+		fmt.Fprintf(out, "  r%d clears check #%d for $70: accepted=%v (its guess: funds are there)\n",
 			i, no, res.Accepted)
 	}
 
-	fmt.Println("\npartition heals; memories flow together; the 'Oh, crap!' moment:")
+	fmt.Fprintln(out, "\npartition heals; memories flow together; the 'Oh, crap!' moment:")
 	tr.Heal()
 	converge(s, b)
 	for _, a := range b.Apologies.Automated() {
-		fmt.Printf("  apology (automated): %s\n", a.Detail)
+		fmt.Fprintf(out, "  apology (automated): %s\n", a.Detail)
 	}
 	converge(s, b) // spread the bounce-fee compensation op too
-	fmt.Printf("\nbounce fees issued: %d (deduped across replicas)\n", bounced)
-	fmt.Printf("final balances: r0 $%.2f, r1 $%.2f — identical, order be damned\n",
+	fmt.Fprintf(out, "\nbounce fees issued: %d (deduped across replicas)\n", bounced)
+	fmt.Fprintf(out, "final balances: r0 $%.2f, r1 $%.2f — identical, order be damned\n",
 		balance(b, 0, "acct-007"), balance(b, 1, "acct-007"))
 
-	fmt.Println("\nnow the same scenario with the $10,000-style rule (coordinate big checks):")
+	fmt.Fprintln(out, "\nnow the same scenario with the $10,000-style rule (coordinate big checks):")
 	b2 := quicksand.New[*accounts](bankApp{}, []quicksand.Rule[*accounts]{noOverdraft()},
 		quicksand.WithSim(s), quicksand.WithReplicas(2),
 		quicksand.WithDefaultPolicy(quicksand.Threshold(50_00))) // coordinate anything >= $50
@@ -166,12 +178,14 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("  r0 clears $70 check with coordination: accepted=%v\n", resA.Accepted)
+	fmt.Fprintf(out, "  r0 clears $70 check with coordination: accepted=%v\n", resA.Accepted)
 	resB, err := b2.Submit(ctx, 1, check("acct-009", 202, 70_00))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("  r1 tries the second $70 check: accepted=%v (%s)\n", resB.Accepted, resB.Reason)
-	fmt.Printf("no apologies under coordination: %d — you paid latency instead (§5.8)\n",
+	fmt.Fprintf(out, "  r1 tries the second $70 check: accepted=%v (%s)\n", resB.Accepted, resB.Reason)
+	fmt.Fprintf(out, "no apologies under coordination: %d — you paid latency instead (§5.8)\n",
 		b2.Apologies.Total())
 }
+
+func main() { run(os.Stdout) }

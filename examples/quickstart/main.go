@@ -13,6 +13,8 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	quicksand "repro"
@@ -30,7 +32,7 @@ func (ledgerApp) Step(bal int64, op quicksand.Op) int64 {
 	return bal - op.Arg
 }
 
-func main() {
+func run(out io.Writer) {
 	cluster := quicksand.New[int64](ledgerApp{}, nil,
 		quicksand.WithReplicas(3),
 		quicksand.WithGossipEvery(2*time.Millisecond))
@@ -39,7 +41,7 @@ func main() {
 
 	// Each replica accepts work independently — no coordination, no
 	// waiting: every acceptance is a guess made on local knowledge.
-	fmt.Println("submitting one operation at each replica:")
+	fmt.Fprintln(out, "submitting one operation at each replica:")
 	for i, op := range []quicksand.Op{
 		quicksand.NewOp("credit", "acct", 500),
 		quicksand.NewOp("debit", "acct", 120),
@@ -49,7 +51,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("  replica r%d accepted %s of %d¢: %v\n", i, op.Kind, op.Arg, res.Accepted)
+		fmt.Fprintf(out, "  replica r%d accepted %s of %d¢: %v\n", i, op.Kind, op.Arg, res.Accepted)
 	}
 
 	// Bulk ingest goes through SubmitBatch: one blocking call, results
@@ -62,7 +64,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("batch of %d at r0: all accepted=%v\n", len(batch),
+	fmt.Fprintf(out, "batch of %d at r0: all accepted=%v\n", len(batch),
 		results[0].Accepted && results[1].Accepted)
 
 	// Memories flow together (§7.6): background gossip spreads every
@@ -72,9 +74,11 @@ func main() {
 		time.Sleep(time.Millisecond)
 	}
 
-	fmt.Println("\nafter gossip, every replica tells the same story:")
+	fmt.Fprintln(out, "\nafter gossip, every replica tells the same story:")
 	for i, bal := range cluster.States() {
-		fmt.Printf("  r%d balance: %d¢ (%d ops)\n", i, bal, cluster.Replica(i).OpCount())
+		fmt.Fprintf(out, "  r%d balance: %d¢ (%d ops)\n", i, bal, cluster.Replica(i).OpCount())
 	}
-	fmt.Printf("\nconverged: %v — same ops, same fold, same answer, any order\n", cluster.Converged())
+	fmt.Fprintf(out, "\nconverged: %v — same ops, same fold, same answer, any order\n", cluster.Converged())
 }
+
+func main() { run(os.Stdout) }

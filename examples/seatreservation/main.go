@@ -10,6 +10,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/seats"
@@ -61,16 +63,18 @@ func sellOut(ttl time.Duration) (sold, turnedAway int, expired int64) {
 	return sold, turnedAway, v.M.Expired.Value()
 }
 
-func main() {
-	fmt.Println("12 prime seats, a scalper who holds and never buys, 18 real buyers:")
+func run(out io.Writer) {
+	fmt.Fprintln(out, "12 prime seats, a scalper who holds and never buys, 18 real buyers:")
 
 	sold, away, _ := sellOut(0)
-	fmt.Printf("\nunbounded holds (trusted-agent design):\n")
-	fmt.Printf("  sold to real buyers: %d, turned away: %d\n", sold, away)
-	fmt.Println("  the scalper parks 'purchase pending' forever — §7.3's exploit")
+	fmt.Fprintf(out, "\nunbounded holds (trusted-agent design):\n")
+	fmt.Fprintf(out, "  sold to real buyers: %d, turned away: %d\n", sold, away)
+	fmt.Fprintln(out, "  the scalper parks 'purchase pending' forever — §7.3's exploit")
 
 	sold, away, expired := sellOut(4 * time.Minute)
-	fmt.Printf("\n4-minute hold TTL + durable cleanup queue:\n")
-	fmt.Printf("  sold to real buyers: %d, turned away: %d, holds expired: %d\n", sold, away, expired)
-	fmt.Println("  bounded pending time turns the exploit into background noise")
+	fmt.Fprintf(out, "\n4-minute hold TTL + durable cleanup queue:\n")
+	fmt.Fprintf(out, "  sold to real buyers: %d, turned away: %d, holds expired: %d\n", sold, away, expired)
+	fmt.Fprintln(out, "  bounded pending time turns the exploit into background noise")
 }
+
+func main() { run(os.Stdout) }

@@ -11,13 +11,15 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/cart"
 	"repro/internal/dynamo"
 	"repro/internal/sim"
 )
 
-func main() {
+func run(out io.Writer) {
 	s := sim.New(7)
 	store := dynamo.New(s, dynamo.Config{Nodes: 5, N: 3, R: 2, W: 2})
 
@@ -25,15 +27,15 @@ func main() {
 	bob := cart.NewSession(store, "cart:family", "bob-phone")
 
 	say := func(who, what string) func(bool) {
-		return func(ok bool) { fmt.Printf("  [%s] %-28s ok=%v\n", who, what, ok) }
+		return func(ok bool) { fmt.Fprintf(out, "  [%s] %-28s ok=%v\n", who, what, ok) }
 	}
 
-	fmt.Println("two sessions, one cart:")
+	fmt.Fprintln(out, "two sessions, one cart:")
 	alice.Add("milk", 2, say("alice", "add 2 milk"))
 	alice.Add("book:quicksand", 1, say("alice", "add 1 book"))
 	s.Run()
 
-	fmt.Println("\na storage node fails; shopping continues (sloppy quorum):")
+	fmt.Fprintln(out, "\na storage node fails; shopping continues (sloppy quorum):")
 	store.SetUp("n1", false)
 	// Both update concurrently from what they last saw — siblings ahead.
 	alice.Delete("milk", say("alice", "delete milk"))
@@ -41,23 +43,25 @@ func main() {
 	bob.Add("milk", 1, say("bob", "add 1 milk (concurrent!)"))
 	s.Run()
 
-	fmt.Println("\nnode returns; hinted handoff and anti-entropy reconcile:")
+	fmt.Fprintln(out, "\nnode returns; hinted handoff and anti-entropy reconcile:")
 	store.SetUp("n1", true)
 	s.Run()
 	store.AntiEntropyRound()
 	s.Run()
 
 	alice.Contents(func(items []cart.Item, ok bool) {
-		fmt.Printf("\nfinal cart (ok=%v):\n", ok)
+		fmt.Fprintf(out, "\nfinal cart (ok=%v):\n", ok)
 		for _, it := range items {
-			fmt.Printf("  %-16s x%d\n", it.SKU, it.Qty)
+			fmt.Fprintf(out, "  %-16s x%d\n", it.SKU, it.Qty)
 		}
 	})
 	s.Run()
 
 	m := &store.M
-	fmt.Printf("\nstore counters: %d gets, %d puts, %d sibling GETs, %d hinted writes, %d read repairs\n",
+	fmt.Fprintf(out, "\nstore counters: %d gets, %d puts, %d sibling GETs, %d hinted writes, %d read repairs\n",
 		m.Gets.Value(), m.Puts.Value(), m.SiblingGets.Value(), m.HintedWrites.Value(), m.ReadRepairs.Value())
-	fmt.Println("note: alice's delete and bob's concurrent add-milk were siblings;")
-	fmt.Println("the op union keeps bob's later add — intentions, not states, merge.")
+	fmt.Fprintln(out, "note: alice's delete and bob's concurrent add-milk were siblings;")
+	fmt.Fprintln(out, "the op union keeps bob's later add — intentions, not states, merge.")
 }
+
+func main() { run(os.Stdout) }

@@ -12,6 +12,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/sim"
 	"repro/internal/tandem"
@@ -37,8 +39,8 @@ func runTxn(sys *tandem.System, keys []string, val string, done func(bool)) {
 	step(0)
 }
 
-func main() {
-	fmt.Println("part 1 — the price of a WRITE:")
+func run(out io.Writer) {
+	fmt.Fprintln(out, "part 1 — the price of a WRITE:")
 	for _, mode := range []tandem.Mode{tandem.DP1, tandem.DP2} {
 		s := sim.New(1)
 		sys := tandem.New(s, tandem.Config{Mode: mode})
@@ -46,19 +48,19 @@ func main() {
 			runTxn(sys, []string{fmt.Sprintf("k%02d", i)}, "v", func(bool) {})
 		}
 		s.Run()
-		fmt.Printf("  %-8s: write p50 %-8v  checkpoints/write %.2f\n",
+		fmt.Fprintf(out, "  %-8s: write p50 %-8v  checkpoints/write %.2f\n",
 			mode, sys.M.WriteLat.QuantileDur(0.5),
 			float64(sys.M.WriteCkptMsgs.Value())/float64(sys.M.WriteLat.Count()))
 	}
 
-	fmt.Println("\npart 2 — a primary disk process dies mid-transaction:")
+	fmt.Fprintln(out, "\npart 2 — a primary disk process dies mid-transaction:")
 	for _, mode := range []tandem.Mode{tandem.DP1, tandem.DP2} {
 		s := sim.New(1)
 		sys := tandem.New(s, tandem.Config{Mode: mode, NumDP: 1})
 
 		// Commit something first so there is state to protect.
 		runTxn(sys, []string{"stable"}, "gold", func(ok bool) {
-			fmt.Printf("  %-8s: committed 'stable'=gold (%v)\n", mode, ok)
+			fmt.Fprintf(out, "  %-8s: committed 'stable'=gold (%v)\n", mode, ok)
 		})
 		s.Run()
 
@@ -69,9 +71,9 @@ func main() {
 				txn.Commit(func(committed bool) {
 					switch {
 					case committed:
-						fmt.Printf("  %-8s: in-flight txn SURVIVED the crash (transparent takeover)\n", mode)
+						fmt.Fprintf(out, "  %-8s: in-flight txn SURVIVED the crash (transparent takeover)\n", mode)
 					default:
-						fmt.Printf("  %-8s: in-flight txn ABORTED by the takeover (acceptable erosion)\n", mode)
+						fmt.Fprintf(out, "  %-8s: in-flight txn ABORTED by the takeover (acceptable erosion)\n", mode)
 					}
 				})
 			})
@@ -79,8 +81,10 @@ func main() {
 		s.Run()
 
 		sys.Read("stable", func(v string, ok bool) {
-			fmt.Printf("  %-8s: committed data after takeover: stable=%q ok=%v (never lost)\n", mode, v, ok)
+			fmt.Fprintf(out, "  %-8s: committed data after takeover: stable=%q ok=%v (never lost)\n", mode, v, ok)
 		})
 		s.Run()
 	}
 }
+
+func main() { run(os.Stdout) }

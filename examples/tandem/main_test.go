@@ -1,0 +1,11 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke drives the example's full scenario against a discarded
+// writer: any regression in the walkthrough (a panic, a failed submit, a
+// cluster that no longer converges) fails the test.
+func TestRunSmoke(t *testing.T) { run(io.Discard) }

@@ -19,6 +19,8 @@ package bank
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 
 	"repro/internal/apology"
 	"repro/internal/core"
@@ -78,6 +80,14 @@ func (App) Step(s *Accounts, op oplog.Entry) *Accounts {
 		s.Bal[op.Key] -= op.Arg
 	}
 	return s
+}
+
+// Snapshot returns an independent deep copy of the accounts. Implementing
+// core.Snapshotter lets replicas advance their balance fold from a
+// checkpoint instead of replaying the whole ledger on every admission
+// check.
+func (App) Snapshot(s *Accounts) *Accounts {
+	return &Accounts{Bal: maps.Clone(s.Bal), Uncovered: slices.Clone(s.Uncovered)}
 }
 
 // NoOverdraft is the probabilistically enforced business rule: "there is

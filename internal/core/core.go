@@ -11,6 +11,18 @@
 // same work see the same result, independent of the order in which the
 // work arrived."
 //
+// State derivation is checkpointed and incremental: each replica caches
+// the fold of its set up to a canonical-order watermark and advances it
+// by folding only the entries beyond the watermark (oplog.Set's
+// EntriesAfter). Ingress stamps every new operation with Lamport
+// max(seen)+1, so local submits and in-order gossip are pure appends and
+// admission costs O(new entries), not O(ledger) — the DP2 move from
+// per-WRITE checkpoints to log-anchored ones (§3.3), applied to state
+// derivation. Only a gossip merge that sorts behind the watermark forces
+// a replay, and periodic fold snapshots bound how far back it reaches.
+// See App and Snapshotter for the state-cloning contract this rests on,
+// and WithFullRefold for the replay-from-genesis escape hatch.
+//
 // Business rules are enforced probabilistically (§5.2): a Rule's Admit
 // check runs against the local guess at submit time, and its Violated
 // check runs after merges, when the truth has caught up; discovered
@@ -31,6 +43,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync/atomic"
 	"time"
 
@@ -61,13 +74,36 @@ func NewOp(kind, key string, arg int64) Op {
 // the operations must commute (or the App must make them commute, e.g. by
 // last-ingress-wins tie-breaks, which canonical order makes deterministic).
 //
-// Every fold starts from a fresh Init(), so Step may mutate and return the
-// accumulator in place; previously returned states remain valid snapshots.
+// Step may mutate and return the accumulator in place; previously
+// returned states remain valid snapshots regardless. The engine
+// guarantees this by cloning the accumulator before folding new entries
+// into a state it has handed out — via the App's Snapshot method when it
+// implements Snapshotter, by plain assignment when S is a pure value type
+// (no pointers, maps, slices, channels, funcs, or interfaces reachable),
+// and otherwise by giving up on incremental folding entirely and
+// re-deriving from a fresh Init() on every change (the pre-checkpoint
+// behaviour). Implement Snapshotter on any App whose state holds
+// reference types: it is what keeps admission O(new entries) instead of
+// O(ledger).
+//
+// The guarantee is one-directional: callers must treat states returned
+// by Replica.State (and passed to Rule callbacks) as read-only. The
+// engine folds forward from the accumulator it handed out, so a caller
+// mutation through a reference-typed state would be folded into every
+// subsequent derivation instead of being healed by the next replay.
 type App[S any] interface {
 	// Init returns the empty state.
 	Init() S
 	// Step applies one operation.
 	Step(state S, op Op) S
+}
+
+// Snapshotter is the optional App extension that unlocks checkpointed
+// incremental folds for reference-typed states. Snapshot must return a
+// deep copy: folding further operations into the original must never be
+// observable through the copy, and vice versa.
+type Snapshotter[S any] interface {
+	Snapshot(state S) S
 }
 
 // Violation is one discovered breach of a business rule.
@@ -97,6 +133,8 @@ type config struct {
 	defPolicy   policy.Policy
 	transport   Transport
 	s           *sim.Sim
+	foldEvery   int  // folded entries between periodic fold checkpoints
+	fullRefold  bool // disable checkpointed folds; replay from genesis
 }
 
 // Option configures a Cluster at construction.
@@ -136,6 +174,19 @@ func WithTransport(t Transport) Option { return func(c *config) { c.transport = 
 // one simulation without node-name collisions.
 func WithSim(s *sim.Sim) Option { return func(c *config) { c.s = s } }
 
+// WithFoldCheckpointEvery sets how many folded entries separate the
+// periodic fold checkpoint snapshots (default 1024). Snapshots bound the
+// replay a behind-watermark gossip merge forces; 0 disables them, so such
+// a merge replays from genesis. Values below 0 fall back to the default.
+func WithFoldCheckpointEvery(n int) Option { return func(c *config) { c.foldEvery = n } }
+
+// WithFullRefold disables the checkpointed incremental fold engine: every
+// state derivation after a change replays the whole operation set from a
+// fresh Init. This is the pre-checkpoint behaviour — O(ledger) per
+// derivation — kept as the differential-testing oracle and benchmark
+// baseline; production clusters should not need it.
+func WithFullRefold() Option { return func(c *config) { c.fullRefold = true } }
+
 // Result reports the outcome of one submit.
 type Result struct {
 	Accepted bool
@@ -156,6 +207,16 @@ type Metrics struct {
 	SyncDeclined   stats.Counter // coordination failed or a replica refused
 	GossipRounds   stats.Counter
 	OpsTransferred stats.Counter // entries moved by gossip
+
+	// Fold-engine observability: FoldSteps counts App.Step invocations
+	// across all replicas — the true cost of state derivation. With
+	// checkpointed folds it grows O(new entries) per submit; under
+	// WithFullRefold it grows O(ledger). FoldRewinds counts checkpoint
+	// rewinds forced by gossip merges sorting behind a watermark, and
+	// FoldCheckpoints the periodic snapshots taken.
+	FoldSteps       stats.Counter
+	FoldRewinds     stats.Counter
+	FoldCheckpoints stats.Counter
 }
 
 // Cluster is a set of replicas plus the shared apology queue.
@@ -164,13 +225,53 @@ type Cluster[S any] struct {
 	cfg        config
 	app        App[S]
 	rules      []Rule[S]
-	hasAdmit   bool // any rule has an Admit check
-	hasViolate bool // any rule has a Violated sweep
+	hasAdmit   bool      // any rule has an Admit check
+	hasViolate bool      // any rule has a Violated sweep
+	snapFn     func(S) S // state clone for checkpointed folds; nil = full refold
 	reps       []*Replica[S]
 	stopGossip func()
 
 	Apologies *apology.Queue
 	M         Metrics
+}
+
+// snapshotFn resolves how (and whether) the engine can clone a state, in
+// priority order: the App's own Snapshot method, plain assignment when S
+// is a pure value type, otherwise nil — which sends every derivation down
+// the full-refold path.
+func snapshotFn[S any](app App[S]) func(S) S {
+	if sn, ok := app.(Snapshotter[S]); ok {
+		return sn.Snapshot
+	}
+	if plainCopyable(reflect.TypeFor[S]()) {
+		return func(s S) S { return s }
+	}
+	return nil
+}
+
+// plainCopyable reports whether assignment of a value of type t yields a
+// fully independent copy: no pointers, maps, slices, channels, funcs, or
+// interfaces are reachable from it (strings are immutable, so they
+// qualify).
+func plainCopyable(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	case reflect.Array:
+		return plainCopyable(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !plainCopyable(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // New builds a cluster of replicas named r0, r1, ... sharing one apology
@@ -183,12 +284,16 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 		replicas:    3,
 		callTimeout: 100 * time.Millisecond,
 		defPolicy:   policy.AlwaysAsync(),
+		foldEvery:   1024,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.replicas < 1 {
 		cfg.replicas = 3
+	}
+	if cfg.foldEvery < 0 {
+		cfg.foldEvery = 1024
 	}
 	tr := cfg.transport
 	if tr == nil {
@@ -217,6 +322,9 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	for _, rule := range rules {
 		c.hasAdmit = c.hasAdmit || rule.Admit != nil
 		c.hasViolate = c.hasViolate || rule.Violated != nil
+	}
+	if !cfg.fullRefold {
+		c.snapFn = snapshotFn(app)
 	}
 	for i := 0; i < cfg.replicas; i++ {
 		c.reps = append(c.reps, newReplica(c, fmt.Sprintf("r%d", i)))

@@ -527,3 +527,239 @@ func TestDerivedWorkDedupedByUniquifier(t *testing.T) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointed incremental fold engine.
+//
+// hashApp is a deliberately order-SENSITIVE fold over a plain value state:
+// acc = acc*31 + Arg. It is the sharpest oracle for the fold engine — any
+// entry folded twice, skipped, or folded out of canonical order changes
+// the hash. (Real Apps must commute; the engine itself must not rely on
+// it.) int64 is plainly copyable, so the engine checkpoints it without a
+// Snapshotter.
+
+type hashApp struct{}
+
+func (hashApp) Init() int64                        { return 0 }
+func (hashApp) Step(s int64, op oplog.Entry) int64 { return s*31 + op.Arg }
+
+// admitAll forces every submit to derive state without constraining it.
+func admitAll[S any]() Rule[S] {
+	return Rule[S]{Name: "admit-all", Admit: func(S, oplog.Entry) bool { return true }}
+}
+
+// oracle re-derives a replica's state from scratch, bypassing the cache.
+func oracle(r *Replica[int64]) int64 {
+	return oplog.Fold(r.Ops(), hashApp{}.Init(), hashApp{}.Step)
+}
+
+// TestFoldStepsLinearInNewEntries is the complexity regression test: n
+// rule-checked submits must cost O(n) App.Step invocations in total, not
+// O(n²) — each submit folds only the entries beyond the watermark.
+func TestFoldStepsLinearInNewEntries(t *testing.T) {
+	const n = 400
+	s := sim.New(1)
+	c := New[int64](hashApp{}, []Rule[int64]{admitAll[int64]()}, WithSim(s), WithReplicas(1))
+	for i := 0; i < n; i++ {
+		if _, err := c.Submit(context.Background(), 0, NewOp("op", "k", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+	}
+	steps := c.M.FoldSteps.Value()
+	if steps > 3*n {
+		t.Fatalf("FoldSteps = %d for %d submits; admission is replaying the ledger (O(n²))", steps, n)
+	}
+	if c.Replica(0).State() != oracle(c.Replica(0)) {
+		t.Fatal("cached state diverged from full refold")
+	}
+
+	// The same workload under WithFullRefold pays quadratically — the
+	// baseline the checkpoint engine exists to beat.
+	s2 := sim.New(1)
+	c2 := New[int64](hashApp{}, []Rule[int64]{admitAll[int64]()}, WithSim(s2), WithReplicas(1), WithFullRefold())
+	for i := 0; i < n; i++ {
+		if _, err := c2.Submit(context.Background(), 0, NewOp("op", "k", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		s2.Run()
+	}
+	if full := c2.M.FoldSteps.Value(); full < int64(n)*int64(n)/4 {
+		t.Fatalf("full-refold FoldSteps = %d; baseline unexpectedly cheap, benchmark claim is hollow", full)
+	}
+	if c.Replica(0).State() != c2.Replica(0).State() {
+		t.Fatal("incremental and full-refold clusters disagree on the same workload")
+	}
+}
+
+// TestRewindOnBehindWatermarkMerge: an entry whose Lamport stamp sorts
+// into the already-folded past must rewind the checkpoint, and the
+// re-derived state must equal a from-genesis fold.
+func TestRewindOnBehindWatermarkMerge(t *testing.T) {
+	s := sim.New(2)
+	c := New[int64](hashApp{}, nil, WithSim(s), WithReplicas(1))
+	rep := c.Replica(0)
+	c.SubmitOp(0, oplog.Entry{ID: "late", Kind: "op", Arg: 7, Lam: 10}, policy.AlwaysAsync(), nil)
+	s.Run()
+	if got, want := rep.State(), oracle(rep); got != want {
+		t.Fatalf("state = %d, oracle %d", got, want)
+	}
+	// Now an entry that sorts BEFORE the folded one arrives (gossip from a
+	// replica whose clock lagged).
+	c.SubmitOp(0, oplog.Entry{ID: "early", Kind: "op", Arg: 3, Lam: 1}, policy.AlwaysAsync(), nil)
+	s.Run()
+	if c.M.FoldRewinds.Value() == 0 {
+		t.Fatal("behind-watermark entry did not rewind the checkpoint")
+	}
+	if got, want := rep.State(), oracle(rep); got != want {
+		t.Fatalf("state after rewind = %d, oracle %d", got, want)
+	}
+	if rep.State() != 3*31+7 {
+		t.Fatalf("fold order wrong after rewind: %d", rep.State())
+	}
+}
+
+// TestPeriodicCheckpointsBoundReplay: with a tight checkpoint cadence, a
+// behind-watermark merge near the tail replays from a recent snapshot,
+// not genesis.
+func TestPeriodicCheckpointsBoundReplay(t *testing.T) {
+	const n = 100
+	s := sim.New(3)
+	c := New[int64](hashApp{}, nil, WithSim(s), WithReplicas(1), WithFoldCheckpointEvery(10))
+	rep := c.Replica(0)
+	for i := 0; i < n; i++ {
+		c.SubmitOp(0, oplog.Entry{ID: uniq.ID(fmt.Sprintf("op-%03d", i)), Kind: "op", Arg: 1, Lam: uint64(10 + 2*i)}, policy.AlwaysAsync(), nil)
+		s.Run()
+		rep.State() // fold as we go, taking periodic snapshots
+	}
+	if c.M.FoldCheckpoints.Value() == 0 {
+		t.Fatal("no periodic checkpoints taken")
+	}
+	before := c.M.FoldSteps.Value()
+	// Land an entry between the last two ops: behind the watermark, but
+	// far after the second-newest snapshot.
+	c.SubmitOp(0, oplog.Entry{ID: "late", Kind: "op", Arg: 5, Lam: uint64(10 + 2*(n-1) - 1)}, policy.AlwaysAsync(), nil)
+	s.Run()
+	if got, want := rep.State(), oracle(rep); got != want {
+		t.Fatalf("state = %d, oracle %d", got, want)
+	}
+	replay := c.M.FoldSteps.Value() - before
+	if replay > 25 {
+		t.Fatalf("rewind replayed %d steps; snapshots are not bounding the replay (cadence 10)", replay)
+	}
+}
+
+// snapshotApp is counterApp plus the Snapshotter extension: map state,
+// in-place Step, deep-copy Snapshot — the shape real applications take.
+type snapshotApp struct{}
+
+func (snapshotApp) Init() counterState { return counterState{} }
+func (snapshotApp) Step(s counterState, op oplog.Entry) counterState {
+	switch op.Kind {
+	case "credit":
+		s[op.Key] += op.Arg
+	case "debit":
+		s[op.Key] -= op.Arg
+	}
+	return s
+}
+func (snapshotApp) Snapshot(s counterState) counterState {
+	c := make(counterState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// TestSnapshotterKeepsReturnedStatesStable: with an in-place-mutating
+// Step and a Snapshotter, states handed out by State() must not change as
+// later operations fold in.
+func TestSnapshotterKeepsReturnedStatesStable(t *testing.T) {
+	s := sim.New(4)
+	c := New[counterState](snapshotApp{}, nil, WithSim(s), WithReplicas(1))
+	if _, err := c.Submit(context.Background(), 0, NewOp("credit", "a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	snap := c.Replica(0).State()
+	if snap["a"] != 10 {
+		t.Fatalf("state = %v", snap)
+	}
+	if _, err := c.Submit(context.Background(), 0, NewOp("credit", "a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if now := c.Replica(0).State(); now["a"] != 15 {
+		t.Fatalf("live state = %v", now)
+	}
+	if snap["a"] != 10 {
+		t.Fatalf("previously returned state mutated in place: %v", snap)
+	}
+}
+
+// TestPropIncrementalFoldMatchesOracle is the engine's soundness
+// property: under random Lamport stamps (forcing behind-watermark merges),
+// random replicas, duplicate IDs, and random gossip, every replica's
+// cached state always equals a from-genesis refold of its operation set.
+func TestPropIncrementalFoldMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := sim.New(seed)
+		c := New[int64](hashApp{}, nil, WithSim(s), WithReplicas(3), WithFoldCheckpointEvery(4))
+		for i := 0; i < 60; i++ {
+			op := oplog.Entry{
+				ID:   uniq.ID(fmt.Sprintf("op-%02d", r.Intn(40))), // dup IDs happen
+				Kind: "op",
+				Arg:  int64(r.Intn(9) + 1),
+				Lam:  uint64(r.Intn(6) + 1), // adversarial: no ingress stamping
+			}
+			c.SubmitOp(r.Intn(3), op, policy.AlwaysAsync(), nil)
+			if r.Intn(3) == 0 {
+				c.GossipRound()
+			}
+			s.Run()
+			rep := c.Replica(r.Intn(3))
+			if rep.State() != oracle(rep) {
+				return false
+			}
+		}
+		for i := 0; i < 6; i++ {
+			c.GossipRound()
+			s.Run()
+		}
+		for i := 0; i < 3; i++ {
+			if c.Replica(i).State() != oracle(c.Replica(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateLocalSubmitRecordsNoSecondGuess pins the ledger fix: a
+// duplicate reaching submitLocal (a retry that raced past dispatch's
+// idempotency check) must not record a second Guess for work that was
+// only recorded once.
+func TestDuplicateLocalSubmitRecordsNoSecondGuess(t *testing.T) {
+	s := sim.New(5)
+	c := New[counterState](snapshotApp{}, nil, WithSim(s), WithReplicas(1))
+	rep := c.Replica(0)
+	op := oplog.Entry{ID: "check-7", Kind: "credit", Key: "a", Arg: 1, Lam: 1}
+	for i := 0; i < 2; i++ {
+		if res := rep.submitLocal(op); !res.Accepted {
+			t.Fatalf("submitLocal #%d declined", i)
+		}
+	}
+	if got := rep.Ledger.Count(1); got != 1 { // apology.Guess
+		t.Fatalf("guesses = %d, want 1 — duplicate accept re-recorded a guess", got)
+	}
+	if got := rep.Ledger.Count(0); got != 1 { // apology.Memory
+		t.Fatalf("memories = %d, want 1", got)
+	}
+	if rep.State()["a"] != 1 {
+		t.Fatal("duplicate applied twice")
+	}
+}

@@ -42,11 +42,34 @@ type Replica[S any] struct {
 	sentTo  map[string]int // journal prefix acked by each peer
 	lamport uint64         // highest Lamport timestamp seen
 
-	state      S
-	stateDirty bool
+	// The fold checkpoint: state is the fold of every entry at or before
+	// stateMark (stateN of them); stateDirty records that entries beyond
+	// the watermark are waiting to be folded in. snaps holds periodic
+	// checkpoint snapshots (ascending mark) so a gossip merge that sorts
+	// behind the watermark rewinds to a recent checkpoint instead of
+	// genesis. See stateLocked and rewindLocked.
+	state       S
+	stateMark   oplog.Watermark
+	stateN      int
+	stateShared bool // state escaped to a caller; clone before folding in place
+	stateDirty  bool
+	snaps       []foldSnap[S]
 
 	Ledger apology.Ledger // this replica's memories, guesses, apologies
 }
+
+// foldSnap is one periodic fold checkpoint: the (cloned) state derived
+// from every entry at or before mark, n entries in total.
+type foldSnap[S any] struct {
+	state S
+	mark  oplog.Watermark
+	n     int
+}
+
+// maxFoldSnaps bounds the checkpoint ring per replica. Dropping the
+// oldest snapshot only means a merge sorting *very* far into the past
+// replays from genesis — the pre-checkpoint cost, paid only then.
+const maxFoldSnaps = 8
 
 func newReplica[S any](c *Cluster[S], id string) *Replica[S] {
 	r := &Replica[S]{
@@ -96,8 +119,16 @@ func (r *Replica[S]) sameOps(o *Replica[S]) bool {
 	return r.ops.Equal(o.ops)
 }
 
-// State derives (and caches) the application state by folding the
-// operation set in canonical order.
+// State derives (and caches) the application state. The common case
+// advances the fold checkpoint by folding only the entries beyond the
+// watermark; a full replay happens only when the cluster runs without a
+// snapshot function (WithFullRefold, or an uncloneable S on an App
+// without Snapshot).
+//
+// The returned state is a stable snapshot — later operations never
+// change it — but it is read-only: the engine folds forward from it, so
+// mutating a reference-typed state through it corrupts every subsequent
+// derivation.
 func (r *Replica[S]) State() S {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -105,11 +136,83 @@ func (r *Replica[S]) State() S {
 }
 
 func (r *Replica[S]) stateLocked() S {
-	if r.stateDirty {
-		r.state = oplog.Fold(r.ops, r.c.app.Init(), r.c.app.Step)
-		r.stateDirty = false
-	}
+	r.foldLocked()
+	// The accumulator escapes to the caller (a rule, a test, an
+	// experiment); the next in-place fold must clone first so this
+	// snapshot stays valid — the contract App documents.
+	r.stateShared = true
 	return r.state
+}
+
+// foldLocked brings the fold checkpoint up to date with the operation set.
+func (r *Replica[S]) foldLocked() {
+	if !r.stateDirty {
+		return
+	}
+	r.stateDirty = false
+	if r.c.snapFn == nil {
+		// Legacy path: re-derive from genesis. Correct for any App,
+		// O(set size) per derivation.
+		r.state = oplog.Fold(r.ops, r.c.app.Init(), r.c.app.Step)
+		r.c.M.FoldSteps.Addn(int64(r.ops.Len()))
+		return
+	}
+	pending := r.ops.EntriesAfter(r.stateMark)
+	if len(pending) == 0 {
+		return
+	}
+	if r.stateShared {
+		// A caller holds the accumulator; folding in place would mutate
+		// their snapshot. Clone once per fold batch, not per State call.
+		r.state = r.c.snapFn(r.state)
+		r.stateShared = false
+	}
+	every := r.c.cfg.foldEvery
+	for _, e := range pending {
+		r.state = r.c.app.Step(r.state, e)
+		r.stateN++
+		if every > 0 && r.stateN%every == 0 {
+			r.checkpointLocked(e.Mark())
+		}
+	}
+	r.stateMark = pending[len(pending)-1].Mark()
+	r.c.M.FoldSteps.Addn(int64(len(pending)))
+}
+
+// checkpointLocked stores a cloned snapshot of the fold at mark, keeping
+// the ring bounded.
+func (r *Replica[S]) checkpointLocked(mark oplog.Watermark) {
+	r.snaps = append(r.snaps, foldSnap[S]{state: r.c.snapFn(r.state), mark: mark, n: r.stateN})
+	if len(r.snaps) > maxFoldSnaps {
+		copy(r.snaps, r.snaps[1:])
+		r.snaps[maxFoldSnaps] = foldSnap[S]{}
+		r.snaps = r.snaps[:maxFoldSnaps]
+	}
+	r.c.M.FoldCheckpoints.Inc()
+}
+
+// rewindLocked reacts to an entry that sorts at or behind the fold
+// watermark (position m): every snapshot whose prefix would contain the
+// newcomer is invalid, so drop those and restart the fold from the newest
+// surviving checkpoint (or genesis). The next stateLocked call replays
+// forward from there — bounded by the checkpoint cadence, not the ledger.
+func (r *Replica[S]) rewindLocked(m oplog.Watermark) {
+	for n := len(r.snaps); n > 0 && !r.snaps[n-1].mark.Less(m); n = len(r.snaps) {
+		r.snaps[n-1] = foldSnap[S]{}
+		r.snaps = r.snaps[:n-1]
+	}
+	if n := len(r.snaps); n > 0 {
+		top := r.snaps[n-1]
+		r.state = r.c.snapFn(top.state) // clone: the stored snapshot stays pristine
+		r.stateMark = top.mark
+		r.stateN = top.n
+	} else {
+		r.state = r.c.app.Init()
+		r.stateMark = oplog.Watermark{}
+		r.stateN = 0
+	}
+	r.stateShared = false
+	r.c.M.FoldRewinds.Inc()
 }
 
 // absorbLocked unions entries into the set and returns the ones that were
@@ -120,6 +223,13 @@ func (r *Replica[S]) absorbLocked(entries []oplog.Entry) []oplog.Entry {
 		if r.ops.Add(e) {
 			if e.Lam > r.lamport {
 				r.lamport = e.Lam
+			}
+			if r.c.snapFn != nil && !r.stateMark.Before(e) {
+				// The newcomer sorts into the already-folded past: the
+				// checkpoint no longer covers a prefix of the canonical
+				// order. Ingress Lamport stamping makes this rare — only
+				// gossip can deliver it.
+				r.rewindLocked(e.Mark())
 			}
 			r.journal = append(r.journal, e)
 			added = append(added, e)
@@ -186,12 +296,15 @@ func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
 	}
 	added := r.absorbLocked([]oplog.Entry{op})
 	r.mu.Unlock()
-	now := r.c.tr.Now()
 	if len(added) > 0 {
+		// Only a newly recorded op is a fresh guess; a duplicate (a retry
+		// that raced past dispatch's idempotency check, or an op gossip
+		// already delivered) was guessed when it was first recorded.
+		now := r.c.tr.Now()
 		r.Ledger.Record(now, apology.Memory, r.id, "local "+op.Kind+" "+op.Key, op.ID)
+		r.Ledger.Record(now, apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
 		r.sweepViolations()
 	}
-	r.Ledger.Record(now, apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
 	return Result{Accepted: true, Op: op, Decision: policy.Async}
 }
 

@@ -57,8 +57,8 @@ func TestRegistryCompleteAndUnique(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 16 {
-		t.Fatalf("expected 16 experiments, have %d", len(seen))
+	if len(seen) != 17 {
+		t.Fatalf("expected 17 experiments, have %d", len(seen))
 	}
 	if _, err := ByID("nope"); err == nil {
 		t.Fatal("ByID accepted an unknown id")
@@ -263,6 +263,36 @@ func TestE12GossipBeats2PC(t *testing.T) {
 	}
 	if cell(t, tab, 1, "converged after heal") != "true" {
 		t.Fatal("gossip cluster did not converge after churn")
+	}
+}
+
+func TestE13CheckpointedFoldBeatsRefoldTenfold(t *testing.T) {
+	tab := run(t, "E13")
+	// Rows come in (checkpointed, full refold) pairs per ledger size.
+	for r := 0; r < len(tab.Rows); r += 2 {
+		if cell(t, tab, r, "states equal") != "true" {
+			t.Fatalf("row %d: engines derived different states", r)
+		}
+		perSubmit := num(t, cell(t, tab, r, "steps/submit"))
+		if perSubmit > 3 {
+			t.Fatalf("checkpointed fold costs %.2f steps/submit; not O(new entries)", perSubmit)
+		}
+	}
+	// The checkpointed steps/submit must NOT grow with the ledger while
+	// the full refold's does — that is the whole point.
+	firstFull := num(t, cell(t, tab, 1, "steps/submit"))
+	lastFull := num(t, cell(t, tab, len(tab.Rows)-1, "steps/submit"))
+	if lastFull < 4*firstFull {
+		t.Fatalf("full refold cost did not scale with ledger size: %.1f -> %.1f", firstFull, lastFull)
+	}
+	// Acceptance bar: ≥10× on the 10k-op rule-checked workload.
+	last := len(tab.Rows) - 2
+	if tab.Rows[last][0] != "10000" {
+		t.Fatalf("last pair is not the 10k workload: %v", tab.Rows[last])
+	}
+	speedup := num(t, strings.TrimSuffix(cell(t, tab, last, "refold speedup"), "×"))
+	if speedup < 10 {
+		t.Fatalf("10k-op speedup = %.1f×, want ≥10×", speedup)
 	}
 }
 

@@ -8,6 +8,26 @@
 // in which the work has arrived" (§7.6). Applications derive their state
 // by folding the entries in a canonical order; packages cart, bank, and
 // core all build on this.
+//
+// # Canonical order and incremental derivation
+//
+// The canonical order is (Lam, At, ID): ascending Lamport timestamp, then
+// ingress time, ties broken by uniquifier. A Set maintains this order as
+// an index alongside the ID map, kept current on every Add — an O(1)
+// append when the new entry sorts after everything present (the common
+// case: ingress stamps Lamport max+1, so local submits and in-order
+// gossip are pure appends), an O(n) insertion only when gossip delivers
+// an entry that sorts into the past.
+//
+// The index makes state derivation incremental. A Watermark names a
+// position in the canonical order; EntriesAfter(w) returns only the
+// entries beyond it, so a consumer that remembers the watermark of its
+// last fold can advance its derived state by folding just the new suffix
+// instead of replaying the whole ledger. Consumers detect the rare
+// sorts-into-the-past insertion by comparing the new entry's Mark against
+// their watermark (see Entry.Mark and Watermark.Before) and only then
+// fall back to replaying from an older checkpoint. internal/core's
+// Replica is the canonical consumer of this contract.
 package oplog
 
 import (
@@ -34,10 +54,44 @@ type Entry struct {
 	Note string   // free-form annotation carried with the op
 }
 
-// Set is a mergeable set of entries keyed by uniquifier. The zero value is
+// Mark returns the entry's position in the canonical order.
+func (e Entry) Mark() Watermark { return Watermark{Lam: e.Lam, At: e.At, ID: e.ID} }
+
+// Watermark names a position in the canonical (Lam, At, ID) order. The
+// zero Watermark sorts before every real entry (real entries carry
+// non-empty IDs), so it means "genesis: nothing folded yet".
+type Watermark struct {
+	Lam uint64
+	At  sim.Time
+	ID  uniq.ID
+}
+
+// IsZero reports whether w is the genesis watermark.
+func (w Watermark) IsZero() bool { return w == Watermark{} }
+
+// Less reports whether w sorts strictly before o in canonical order.
+func (w Watermark) Less(o Watermark) bool {
+	if w.Lam != o.Lam {
+		return w.Lam < o.Lam
+	}
+	if w.At != o.At {
+		return w.At < o.At
+	}
+	return w.ID < o.ID
+}
+
+// Before reports whether w sorts strictly before entry e — that is,
+// whether e lies beyond the watermark and can be folded incrementally. A
+// consumer holding watermark w must treat an arriving entry with
+// !w.Before(e) as sorting into its already-folded past.
+func (w Watermark) Before(e Entry) bool { return w.Less(e.Mark()) }
+
+// Set is a mergeable set of entries keyed by uniquifier, with a
+// canonically ordered index maintained on every Add. The zero value is
 // not usable; construct with NewSet.
 type Set struct {
-	byID map[uniq.ID]Entry
+	byID    map[uniq.ID]Entry
+	ordered []Entry // canonical (Lam, At, ID) order, kept current by Add
 }
 
 // NewSet returns an empty set, optionally seeded with entries.
@@ -53,12 +107,32 @@ func NewSet(entries ...Entry) *Set {
 // already-present ID is a no-op returning false — this is what makes
 // processing "have the business impact of a single execution even as it is
 // processed at multiple replicas" (§5.4).
+//
+// Add maintains the canonical index: appending (an entry sorting after
+// everything present) is O(1) amortized; an entry sorting into the past
+// costs an O(n) insertion, which only out-of-order gossip pays.
 func (s *Set) Add(e Entry) bool {
 	if _, ok := s.byID[e.ID]; ok {
 		return false
 	}
 	s.byID[e.ID] = e
+	if n := len(s.ordered); n == 0 || s.ordered[n-1].Mark().Before(e) {
+		s.ordered = append(s.ordered, e)
+	} else {
+		i := s.searchAfter(e.Mark())
+		s.ordered = append(s.ordered, Entry{})
+		copy(s.ordered[i+1:], s.ordered[i:])
+		s.ordered[i] = e
+	}
 	return true
+}
+
+// searchAfter returns the index of the first ordered entry sorting
+// strictly after w (len(ordered) if none).
+func (s *Set) searchAfter(w Watermark) int {
+	return sort.Search(len(s.ordered), func(i int) bool {
+		return w.Less(s.ordered[i].Mark())
+	})
 }
 
 // Contains reports whether an entry with the given ID is present.
@@ -93,20 +167,22 @@ func (s *Set) Union(o *Set) int {
 // order. Replicas exchange diffs during anti-entropy.
 func (s *Set) Diff(o *Set) []Entry {
 	var out []Entry
-	for id, e := range s.byID {
-		if !o.Contains(id) {
+	for _, e := range s.ordered {
+		if !o.Contains(e.ID) {
 			out = append(out, e)
 		}
 	}
-	sortCanonical(out)
 	return out
 }
 
 // Copy returns an independent copy.
 func (s *Set) Copy() *Set {
-	c := NewSet()
-	for _, e := range s.byID {
-		c.byID[e.ID] = e
+	c := &Set{
+		byID:    make(map[uniq.ID]Entry, len(s.byID)),
+		ordered: append([]Entry(nil), s.ordered...),
+	}
+	for id, e := range s.byID {
+		c.byID[id] = e
 	}
 	return c
 }
@@ -133,44 +209,46 @@ func (s *Set) Equal(o *Set) bool {
 // state in canonical order makes the derived state a pure function of the
 // set — the arrival order at this replica "is not the determining factor
 // in the outcome" (§7.6).
+//
+// The returned slice is a copy; callers may keep or mutate it. With the
+// index maintained by Add, this costs one O(n) copy, not a sort.
 func (s *Set) Entries() []Entry {
-	out := make([]Entry, 0, len(s.byID))
-	for _, e := range s.byID {
-		out = append(out, e)
+	return append([]Entry(nil), s.ordered...)
+}
+
+// EntriesAfter returns, in canonical order, only the entries sorting
+// strictly after watermark w — the suffix a checkpointed fold still has
+// to apply. The genesis (zero) watermark yields every entry. Cost is
+// O(log n) to locate the suffix plus a copy of just that suffix.
+func (s *Set) EntriesAfter(w Watermark) []Entry {
+	i := 0
+	if !w.IsZero() {
+		i = s.searchAfter(w)
 	}
-	sortCanonical(out)
-	return out
+	if i == len(s.ordered) {
+		return nil
+	}
+	return append([]Entry(nil), s.ordered[i:]...)
 }
 
 // MaxLam returns the highest Lamport timestamp in the set (0 when empty).
-// An ingress point stamps new operations with max(seen)+1.
+// An ingress point stamps new operations with max(seen)+1. The Lamport
+// stamp is the canonical order's primary key, so this reads the index
+// tail in O(1).
 func (s *Set) MaxLam() uint64 {
-	var max uint64
-	for _, e := range s.byID {
-		if e.Lam > max {
-			max = e.Lam
-		}
+	if n := len(s.ordered); n > 0 {
+		return s.ordered[n-1].Lam
 	}
-	return max
-}
-
-func sortCanonical(es []Entry) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Lam != es[j].Lam {
-			return es[i].Lam < es[j].Lam
-		}
-		if es[i].At != es[j].At {
-			return es[i].At < es[j].At
-		}
-		return es[i].ID < es[j].ID
-	})
+	return 0
 }
 
 // Fold applies fn to every entry in canonical order, threading an
-// accumulator. It is the generic "derive state from the ledger" helper.
+// accumulator. It is the generic "derive state from the ledger" helper —
+// the from-genesis replay; checkpointed consumers fold EntriesAfter
+// instead.
 func Fold[S any](s *Set, init S, fn func(S, Entry) S) S {
 	acc := init
-	for _, e := range s.Entries() {
+	for _, e := range s.ordered {
 		acc = fn(acc, e)
 	}
 	return acc

@@ -56,6 +56,27 @@ func BenchmarkEntriesCanonicalSort1k(b *testing.B) {
 	}
 }
 
+func BenchmarkEntriesAfterTail1k(b *testing.B) {
+	s := benchSet(1000)
+	w := Entry{ID: uniq.ID(fmt.Sprintf("op-%08d", 989)), Kind: "k", Arg: 1, Lam: 989}.Mark()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EntriesAfter(w) // last 10 entries: the checkpointed-fold steady state
+	}
+}
+
+func BenchmarkAddOutOfOrder1k(b *testing.B) {
+	// Every add sorts into the past — the worst case the O(n) insertion
+	// path pays, so gossip-behind-watermark cost stays visible.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSet()
+		for j := 999; j >= 0; j-- {
+			s.Add(Entry{ID: uniq.ID(fmt.Sprintf("op-%08d", j)), Lam: uint64(j)})
+		}
+	}
+}
+
 func BenchmarkFold1k(b *testing.B) {
 	s := benchSet(1000)
 	b.ResetTimer()

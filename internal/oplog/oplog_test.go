@@ -2,6 +2,7 @@ package oplog
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -196,6 +197,116 @@ func TestPropFoldOrderInsensitive(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOrderedIndexMatchesSort feeds entries in adversarial orders and
+// checks the incrementally maintained index always equals a from-scratch
+// canonical sort — the invariant every checkpointed fold depends on.
+func TestOrderedIndexMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSet()
+		var all []Entry
+		for i := 0; i < 40; i++ {
+			e := Entry{
+				ID:  uniq.ID(string(rune('a' + r.Intn(26)))),
+				Lam: uint64(r.Intn(5)),
+				At:  sim.Time(r.Intn(5)),
+			}
+			if s.Add(e) {
+				all = append(all, e)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Mark().Less(all[j].Mark()) })
+		got := s.Entries()
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatermarkOrder(t *testing.T) {
+	var zero Watermark
+	if !zero.IsZero() {
+		t.Fatal("zero watermark not IsZero")
+	}
+	a := Entry{ID: "a", Lam: 1, At: 2}
+	if !zero.Before(a) {
+		t.Fatal("genesis watermark must sort before every real entry")
+	}
+	if a.Mark().Before(a) {
+		t.Fatal("an entry is not after its own mark")
+	}
+	b := Entry{ID: "b", Lam: 1, At: 2} // same (Lam, At), later ID
+	if !a.Mark().Before(b) || b.Mark().Before(a) {
+		t.Fatal("ID tie-break wrong")
+	}
+	c := Entry{ID: "0", Lam: 2} // higher Lamport outranks earlier At/ID
+	if !b.Mark().Before(c) {
+		t.Fatal("Lamport must dominate the order")
+	}
+}
+
+func TestEntriesAfter(t *testing.T) {
+	s := NewSet(
+		Entry{ID: "a", Lam: 1},
+		Entry{ID: "b", Lam: 2},
+		Entry{ID: "c", Lam: 3},
+	)
+	if got := s.EntriesAfter(Watermark{}); len(got) != 3 {
+		t.Fatalf("genesis watermark returned %d entries, want 3", len(got))
+	}
+	got := s.EntriesAfter(Entry{ID: "a", Lam: 1}.Mark())
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "c" {
+		t.Fatalf("EntriesAfter(a) = %+v", got)
+	}
+	if got := s.EntriesAfter(Entry{ID: "c", Lam: 3}.Mark()); got != nil {
+		t.Fatalf("EntriesAfter(last) = %+v, want nil", got)
+	}
+	// A watermark between positions (no entry carries it) still splits
+	// correctly.
+	got = s.EntriesAfter(Watermark{Lam: 2, At: 0, ID: "zzz"})
+	if len(got) != 1 || got[0].ID != "c" {
+		t.Fatalf("EntriesAfter(between) = %+v", got)
+	}
+}
+
+// TestEntriesAfterSeesLateInsertions pins the contract the fold cache in
+// core relies on: an entry that sorts behind a watermark does NOT show up
+// in EntriesAfter(watermark) — the consumer must detect it via
+// Watermark.Before at Add time and rewind.
+func TestEntriesAfterSeesLateInsertions(t *testing.T) {
+	s := NewSet(Entry{ID: "b", Lam: 5})
+	w := Entry{ID: "b", Lam: 5}.Mark()
+	late := Entry{ID: "a", Lam: 1}
+	s.Add(late)
+	if w.Before(late) {
+		t.Fatal("late entry should sort behind the watermark")
+	}
+	if got := s.EntriesAfter(w); len(got) != 0 {
+		t.Fatalf("late insertion leaked into EntriesAfter: %+v", got)
+	}
+	if es := s.Entries(); es[0].ID != "a" || es[1].ID != "b" {
+		t.Fatalf("full order wrong after late insert: %+v", es)
+	}
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	s := NewSet(e("a", 1), e("b", 2))
+	got := s.Entries()
+	got[0].Kind = "mutated"
+	if fresh := s.Entries(); fresh[0].Kind != "op" {
+		t.Fatal("Entries exposed internal storage")
 	}
 }
 

@@ -47,6 +47,60 @@ func BenchmarkLiveSubmit(b *testing.B) {
 	})
 }
 
+// admitAll is a rule whose Admit always passes: it forces every submit to
+// derive replica state (the expensive part of admission) without
+// constraining the workload — the fold benchmarks' stand-in for any
+// rule-checked application.
+func admitAll() quicksand.Rule[int64] {
+	return quicksand.Rule[int64]{
+		Name:  "admit-all",
+		Admit: func(int64, quicksand.Op) bool { return true },
+	}
+}
+
+// benchLiveFold pushes a 10k-op rule-checked workload through one replica
+// on the live transport. Every submit admission-checks against derived
+// state, so this measures exactly what the checkpointed fold engine
+// changes: O(new entries) vs O(ledger) derivation per submit.
+func benchLiveFold(b *testing.B, opts ...quicksand.Option) {
+	b.Helper()
+	const n = 10_000
+	ctx := context.Background()
+	var finalState int64
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		c := quicksand.New[int64](sumApp{}, []quicksand.Rule[int64]{admitAll()},
+			append([]quicksand.Option{quicksand.WithReplicas(1)}, opts...)...)
+		ops := make([]quicksand.Op, n)
+		for j := range ops {
+			ops[j] = quicksand.NewOp("add", "k", 1)
+		}
+		if _, err := c.SubmitBatch(ctx, 0, ops); err != nil {
+			b.Fatal(err)
+		}
+		finalState = c.Replica(0).State()
+		steps = c.M.FoldSteps.Value()
+		c.Close()
+	}
+	b.StopTimer()
+	if finalState != n {
+		b.Fatalf("final state = %d, want %d", finalState, n)
+	}
+	b.ReportMetric(float64(steps)/n, "steps/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/op-submitted")
+}
+
+// BenchmarkLiveFold10kCheckpointed is the engine as shipped: admission
+// advances the fold checkpoint by the one new entry per submit.
+func BenchmarkLiveFold10kCheckpointed(b *testing.B) { benchLiveFold(b) }
+
+// BenchmarkLiveFold10kFullRefold is the pre-checkpoint baseline: every
+// admission replays the whole ledger. Kept as the measured evidence that
+// the checkpointed engine is ≥10× faster on the same workload (both
+// derive the identical final state; see also TestFoldEnginesAgree in
+// api_test.go and experiment E13 for the sim-transport numbers).
+func BenchmarkLiveFold10kFullRefold(b *testing.B) { benchLiveFold(b, quicksand.WithFullRefold()) }
+
 // BenchmarkLiveSubmitBatch measures bulk ingest through SubmitBatch —
 // the throughput path, amortizing the blocking machinery over 100 ops.
 func BenchmarkLiveSubmitBatch(b *testing.B) {
