@@ -93,8 +93,9 @@ var ErrStalled = core.ErrStalled
 // New builds a cluster of replicas named r0, r1, ... running app under
 // rules (which may be nil). By default the cluster runs three replicas on
 // a fresh live (goroutine) transport with the AlwaysAsync risk policy;
-// options select the simulator, tune timeouts and latency, and start
-// background gossip.
+// options select the simulator, tune timeouts and latency, start
+// background gossip, and shard the key space across independent replica
+// groups (WithShards).
 func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	return core.New[S](app, rules, opts...)
 }
@@ -117,9 +118,20 @@ func NewSimTransport(s *Sim) *SimTransport { return core.NewSimTransport(s) }
 // wall-clock timers.
 func NewLiveTransport() *LiveTransport { return core.NewLiveTransport() }
 
-// WithReplicas sets the replica count (default 3; values below 1 fall
-// back to the default).
+// WithReplicas sets the replica count per shard (default 3; values below
+// 1 fall back to the default).
 func WithReplicas(n int) Option { return core.WithReplicas(n) }
+
+// WithShards partitions the key space across n independent replica
+// groups by consistent hash of Op.Key (default 1 — unsharded). Each
+// shard runs its own operation sets, fold checkpoints, journals, and
+// gossip schedule, so operations on different shards share no lock and
+// proceed in parallel on the live transport. Cluster.ShardOf reports the
+// routing; ShardStates, ShardConverged, ShardReplica, and ShardMetrics
+// observe one group. Per-key semantics are unchanged: a sharded run
+// derives states that, merged per key, match the unsharded run of the
+// same operations.
+func WithShards(n int) Option { return core.WithShards(n) }
 
 // WithLatency sets the per-message delivery latency model. On the
 // simulator the default is 5ms ± 2ms; the live transport defaults to no

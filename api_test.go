@@ -413,6 +413,126 @@ func TestLiveConcurrentSubmitters(t *testing.T) {
 	}
 }
 
+// TestShardedMatchesUnsharded is the acceptance check for the shard
+// layer: the same op sequence run on one shard and on four must produce
+// per-key identical states — on both transports. Every op for a given
+// key is submitted at the same replica index, so admission guesses see
+// the same per-key history in both runs (gossip interleavings differ,
+// but deposits and covered checks commute); after convergence the
+// sharded per-group states, merged key-by-key, must equal the unsharded
+// state exactly.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, h harness) {
+		const nKeys, nOps = 24, 180
+		key := func(k int) string { return fmt.Sprintf("acct-%02d", k) }
+		run := func(shards int) balances {
+			c, d := h.newCluster(t, quicksand.WithShards(shards))
+			defer c.Close()
+			ctx := context.Background()
+			repOf := func(k int) int { return k % c.Replicas() }
+			// Seed every account so the later checks are always covered by
+			// the submitting replica's local guess — admission decisions
+			// are then identical in both runs.
+			for k := 0; k < nKeys; k++ {
+				op := quicksand.NewOp("deposit", key(k), 10_000)
+				op.ID = quicksand.OpID(fmt.Sprintf("seed-%02d", k))
+				if res, err := c.Submit(ctx, repOf(k), op); err != nil || !res.Accepted {
+					t.Fatalf("seed %d = %+v, %v", k, res, err)
+				}
+			}
+			for i := 0; i < nOps; i++ {
+				k := (i * 13) % nKeys
+				kind, arg := "deposit", int64(5+i%7)
+				if i%3 == 0 {
+					kind, arg = "clear-check", int64(1+i%5)
+				}
+				op := quicksand.NewOp(kind, key(k), arg)
+				op.ID = quicksand.OpID(fmt.Sprintf("diff-%03d", i))
+				if res, err := c.Submit(ctx, repOf(k), op); err != nil || !res.Accepted {
+					t.Fatalf("op %d = %+v, %v", i, res, err)
+				}
+				if i%17 == 0 {
+					c.GossipRound()
+					d.settle()
+				}
+			}
+			d.converge(t, c)
+			// Merge the converged per-shard states key-by-key; along the
+			// way prove replicas within each group agree and no key leaked
+			// off its home shard.
+			merged := balances{}
+			for s := 0; s < c.Shards(); s++ {
+				states := c.ShardStates(s)
+				for i := 1; i < len(states); i++ {
+					for acct, bal := range states[0] {
+						if states[i][acct] != bal {
+							t.Fatalf("shard %d replicas diverge on %s: %d vs %d", s, acct, bal, states[i][acct])
+						}
+					}
+				}
+				for acct, bal := range states[0] {
+					if c.ShardOf(acct) != s {
+						t.Fatalf("key %s leaked onto shard %d (home %d)", acct, s, c.ShardOf(acct))
+					}
+					if _, dup := merged[acct]; dup {
+						t.Fatalf("key %s present on two shards", acct)
+					}
+					merged[acct] = bal
+				}
+			}
+			return merged
+		}
+		unsharded := run(1)
+		sharded := run(4)
+		if len(unsharded) != len(sharded) {
+			t.Fatalf("key sets differ: %d unsharded vs %d sharded", len(unsharded), len(sharded))
+		}
+		for acct, bal := range unsharded {
+			if sharded[acct] != bal {
+				t.Fatalf("per-key state diverged on %s: unsharded %d, sharded %d", acct, bal, sharded[acct])
+			}
+		}
+	})
+}
+
+// TestShardedBatchScatterGather proves SubmitBatch fans a mixed-key batch
+// out across shards while preserving result order by index and per-key
+// submission order — on both transports (parallel scatter on live,
+// sequential on sim).
+func TestShardedBatchScatterGather(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, h harness) {
+		c, _ := h.newCluster(t, quicksand.WithShards(4))
+		defer c.Close()
+		const n = 80
+		ops := make([]quicksand.Op, n)
+		want := map[string]int64{}
+		for i := range ops {
+			k := fmt.Sprintf("acct-%02d", i%10)
+			ops[i] = quicksand.NewOp("deposit", k, int64(i+1))
+			ops[i].ID = quicksand.OpID(fmt.Sprintf("batch-%03d", i))
+			want[k] += int64(i + 1)
+		}
+		results, err := c.SubmitBatch(context.Background(), 0, ops)
+		if err != nil {
+			t.Fatalf("batch error: %v", err)
+		}
+		for i, res := range results {
+			if !res.Accepted {
+				t.Fatalf("op %d declined: %s", i, res.Reason)
+			}
+			if res.Op.ID != ops[i].ID {
+				t.Fatalf("result %d carries op %q, want %q — scatter lost the ordering", i, res.Op.ID, ops[i].ID)
+			}
+		}
+		for k, sum := range want {
+			got := c.ShardReplica(c.ShardOf(k), 0).State()[k]
+			if got != sum {
+				t.Fatalf("key %s = %d at its home shard, want %d", k, got, sum)
+			}
+		}
+	})
+}
+
 // TestFoldEnginesAgree is the acceptance check for checkpointed state
 // derivation: the incremental engine and the WithFullRefold baseline must
 // derive identical final states from the same rule-checked workload — on

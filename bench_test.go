@@ -83,6 +83,10 @@ func BenchmarkE12CAPAvailability(b *testing.B) { runExperiment(b, "E12") }
 // full-refold state derivation cost as the ledger grows (§3.3, §7.6).
 func BenchmarkE13IncrementalFold(b *testing.B) { runExperiment(b, "E13") }
 
+// BenchmarkE14ShardedHotKey regenerates E14: sharded vs unsharded replica
+// groups under a hot-key skewed clearing workload (§2.3, §6.2).
+func BenchmarkE14ShardedHotKey(b *testing.B) { runExperiment(b, "E14") }
+
 // BenchmarkA1OpVsStateMerge regenerates ablation A1: operation-centric vs
 // state-merge carts (§6.4).
 func BenchmarkA1OpVsStateMerge(b *testing.B) { runExperiment(b, "A1") }

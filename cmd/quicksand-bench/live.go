@@ -1,8 +1,9 @@
 package main
 
 // The -live mode: wall-clock throughput of the ACID 2.0 engine on the
-// goroutine transport. Unlike the experiment tables, these numbers are
-// NOT deterministic — they measure this machine, not the protocol.
+// goroutine transport, swept across shard counts. Unlike the experiment
+// tables, these numbers are NOT deterministic — they measure this
+// machine, not the protocol.
 
 import (
 	"context"
@@ -16,27 +17,45 @@ import (
 	"repro/internal/stats"
 )
 
-// liveApp is a running sum: no rules, no folds on the submit path, so the
-// measurement isolates the engine and transport.
+// liveApp is a running sum per key: no folds beyond one Step per entry on
+// the submit path, so the measurement isolates the engine and transport.
 type liveApp struct{}
 
 func (liveApp) Init() int64                         { return 0 }
 func (liveApp) Step(s int64, op quicksand.Op) int64 { return s + op.Arg }
 
-func runLiveBench(duration time.Duration) {
+// admitAll forces every submit through admission — the rule-checked
+// shape real applications have — so each op derives state under its
+// shard-replica's lock and the table measures lock-domain scaling.
+func admitAll() quicksand.Rule[int64] {
+	return quicksand.Rule[int64]{
+		Name:  "admit-all",
+		Admit: func(int64, quicksand.Op) bool { return true },
+	}
+}
+
+func runLiveBench(duration time.Duration, maxShards int) {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	workers := runtime.NumCPU()
 	fmt.Println("\nLIVE: engine throughput on the goroutine transport (wall clock, this machine, not deterministic)")
 	tab := stats.NewTable(
-		fmt.Sprintf("live — blocking submits for %v per row, 3 replicas, gossip every 1ms", duration),
-		"Each worker loops Submit(ctx, ...) against its home replica; latency from the cluster's async histogram.",
-		"workers", "accepted", "ops/sec", "submit p50", "submit p99", "converged after quiesce")
-	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
-	seen := map[int]bool{}
-	for _, workers := range workerCounts {
-		if workers < 1 || seen[workers] {
-			continue
-		}
-		seen[workers] = true
-		c := quicksand.New[int64](liveApp{}, nil,
+		fmt.Sprintf("live — rule-checked submits for %v per row, %d workers, 3 replicas/shard, gossip every 1ms", duration, workers),
+		"Every worker loops Submit(ctx, ...) at replica index 0 over 256 keys: unsharded, one replica mutex serializes them all; sharded, each shard's group folds and gossips only its own keys. The 1→N curve is the scaling sharding buys on this machine.",
+		"shards", "accepted", "ops/sec", "submit p50", "submit p99", "converged after quiesce")
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+	}
+	var counts []int
+	for s := 1; s < maxShards; s *= 2 {
+		counts = append(counts, s)
+	}
+	counts = append(counts, maxShards)
+	for _, shards := range counts {
+		c := quicksand.New[int64](liveApp{}, []quicksand.Rule[int64]{admitAll()},
+			quicksand.WithShards(shards),
 			quicksand.WithGossipEvery(time.Millisecond))
 		var total atomic.Int64
 		var wg sync.WaitGroup
@@ -46,9 +65,8 @@ func runLiveBench(duration time.Duration) {
 			go func(w int) {
 				defer wg.Done()
 				ctx := context.Background()
-				rep := w % c.Replicas()
-				for time.Now().Before(stop) {
-					res, err := c.Submit(ctx, rep, quicksand.NewOp("op", "k", 1))
+				for i := w * 7919; time.Now().Before(stop); i++ {
+					res, err := c.Submit(ctx, 0, quicksand.NewOp("op", keys[i%len(keys)], 1))
 					if err == nil && res.Accepted {
 						total.Add(1)
 					}
@@ -62,7 +80,7 @@ func runLiveBench(duration time.Duration) {
 			time.Sleep(time.Millisecond)
 		}
 		c.Close()
-		tab.AddRow(fmt.Sprint(workers), fmt.Sprint(total.Load()),
+		tab.AddRow(fmt.Sprint(shards), fmt.Sprint(total.Load()),
 			fmt.Sprintf("%.0f", float64(total.Load())/duration.Seconds()),
 			stats.Dur(c.M.AsyncLat.P50()), stats.Dur(c.M.AsyncLat.P99()),
 			fmt.Sprint(c.Converged()))

@@ -9,6 +9,8 @@
 //	quicksand-bench -list        # list experiments and claims
 //	quicksand-bench -seed 7      # change the deterministic seed
 //	quicksand-bench -live        # wall-clock engine throughput on real goroutines
+//	quicksand-bench -shards 8    # shard count: the -live scaling curve's top end,
+//	                             # and the sharded arm of E14 on the simulator
 package main
 
 import (
@@ -27,11 +29,14 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic seed for every experiment")
 		live    = flag.Bool("live", false, "run only the live-transport throughput measurement (real goroutines, wall clock)")
 		liveDur = flag.Duration("liveduration", 500*time.Millisecond, "sampling window per row of the -live table")
+		shards  = flag.Int("shards", 4, "max shard count for the -live scaling curve, and the sharded arm of E14 in sim mode")
 	)
 	flag.Parse()
 
+	experiment.SetShards(*shards)
+
 	if *live {
-		runLiveBench(*liveDur)
+		runLiveBench(*liveDur, *shards)
 		return
 	}
 

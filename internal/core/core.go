@@ -23,6 +23,17 @@
 // See App and Snapshotter for the state-cloning contract this rests on,
 // and WithFullRefold for the replay-from-genesis escape hatch.
 //
+// Scale-out follows §6's consequence of per-entity consistency: a
+// Cluster is a set of shards, each an independent replica group with its
+// own operation sets, fold checkpoints, journals, gossip schedule, and
+// metrics. Submits are routed by a consistent hash of Op.Key
+// (internal/shard), so operations on different shards share no lock and
+// no gossip payload — on the live transport they proceed in true
+// parallel. WithShards sets the shard count (default 1, which preserves
+// the unsharded behaviour exactly); because applications must already
+// tolerate any canonical fold order, a sharded run derives per-key
+// states identical to an unsharded run of the same operations.
+//
 // Business rules are enforced probabilistically (§5.2): a Rule's Admit
 // check runs against the local guess at submit time, and its Violated
 // check runs after merges, when the truth has caught up; discovered
@@ -50,6 +61,7 @@ import (
 	"repro/internal/apology"
 	"repro/internal/oplog"
 	"repro/internal/policy"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -127,6 +139,7 @@ type Rule[S any] struct {
 // config collects everything the functional options tune.
 type config struct {
 	replicas    int
+	shards      int
 	latency     simnet.Latency
 	callTimeout time.Duration
 	gossipEvery time.Duration
@@ -140,9 +153,20 @@ type config struct {
 // Option configures a Cluster at construction.
 type Option func(*config)
 
-// WithReplicas sets the replica count (default 3; values below 1 fall
-// back to the default, matching the old zero-value Config semantics).
+// WithReplicas sets the replica count per shard (default 3; values below
+// 1 fall back to the default, matching the old zero-value Config
+// semantics).
 func WithReplicas(n int) Option { return func(c *config) { c.replicas = n } }
+
+// WithShards partitions the key space across n independent replica
+// groups (default 1; values below 1 fall back to 1). Each shard owns a
+// consistent-hash slice of the keys and runs its own operation sets,
+// fold checkpoints, journals, and gossip schedule — operations on
+// different shards share no lock, so on the live transport they proceed
+// in parallel. Submits are routed by Op.Key; the replica index names a
+// position within the routed shard's group. A cluster of n shards and m
+// replicas registers n×m transport nodes.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithLatency sets the per-message delivery latency model. On the
 // simulator the default is 5ms ± 2ms (cross-site links); the live
@@ -219,7 +243,10 @@ type Metrics struct {
 	FoldCheckpoints stats.Counter
 }
 
-// Cluster is a set of replicas plus the shared apology queue.
+// Cluster is a set of shards — independent replica groups partitioning
+// the key space — plus the shared apology queue. With the default single
+// shard it behaves exactly like the pre-shard engine: one replica group
+// holding every key.
 type Cluster[S any] struct {
 	tr         Transport
 	cfg        config
@@ -228,11 +255,68 @@ type Cluster[S any] struct {
 	hasAdmit   bool      // any rule has an Admit check
 	hasViolate bool      // any rule has a Violated sweep
 	snapFn     func(S) S // state clone for checkpointed folds; nil = full refold
-	reps       []*Replica[S]
-	stopGossip func()
+	smap       *shard.Map
+	groups     []*shardGroup[S]
+	stopGossip []func()
 
 	Apologies *apology.Queue
 	M         Metrics
+}
+
+// shardGroup is one shard: an independent replica group owning a
+// consistent-hash slice of the key space, with its own operation sets,
+// fold checkpoints, journals, gossip ring, and metrics. Groups share
+// nothing but the transport, the apology queue, and the cluster-wide
+// metrics aggregate.
+type shardGroup[S any] struct {
+	c    *Cluster[S]
+	idx  int
+	reps []*Replica[S]
+	M    Metrics // shard-local view of the same counters Cluster.M aggregates
+}
+
+// gossipRound makes every live replica of this shard push its unacked
+// journal suffix to both ring neighbours. Pushing both directions keeps
+// the acknowledgement flow symmetric — every replica hears back from
+// exactly the peers its journal truncation waits on — and an idle
+// replica sends nothing at all (see pushTo). Gossip payloads are
+// shard-local by construction: a group's journals only ever hold entries
+// for its own keys.
+func (g *shardGroup[S]) gossipRound() {
+	g.M.GossipRounds.Inc()
+	g.c.M.GossipRounds.Inc()
+	for _, rep := range g.reps {
+		if rep.node.Crashed() {
+			continue
+		}
+		for _, peer := range rep.gossipPeers {
+			if !peer.node.Crashed() && g.c.tr.Reachable(rep.id, peer.id) {
+				rep.pushTo(peer.id)
+			}
+		}
+	}
+}
+
+// converged reports whether every replica of this shard holds the same
+// operation set.
+func (g *shardGroup[S]) converged() bool {
+	for i := 1; i < len(g.reps); i++ {
+		if !g.reps[0].sameOps(g.reps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeID names the transport node for replica rep of shard s. The
+// single-shard cluster keeps the historical r0, r1, ... names so
+// existing tests, partitions, and fault injection address nodes
+// unchanged; sharded clusters qualify them as s<shard>/r<rep>.
+func nodeID(shards, s, rep int) string {
+	if shards == 1 {
+		return fmt.Sprintf("r%d", rep)
+	}
+	return fmt.Sprintf("s%d/r%d", s, rep)
 }
 
 // snapshotFn resolves how (and whether) the engine can clone a state, in
@@ -292,6 +376,9 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	if cfg.replicas < 1 {
 		cfg.replicas = 3
 	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
 	if cfg.foldEvery < 0 {
 		cfg.foldEvery = 1024
 	}
@@ -326,11 +413,36 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	if !cfg.fullRefold {
 		c.snapFn = snapshotFn(app)
 	}
-	for i := 0; i < cfg.replicas; i++ {
-		c.reps = append(c.reps, newReplica(c, fmt.Sprintf("r%d", i)))
+	c.smap = shard.NewMap(cfg.shards)
+	for s := 0; s < cfg.shards; s++ {
+		g := &shardGroup[S]{c: c, idx: s}
+		for i := 0; i < cfg.replicas; i++ {
+			g.reps = append(g.reps, newReplica(c, g, nodeID(cfg.shards, s, i)))
+		}
+		// The gossip peer set of a ring replica: its successor and
+		// predecessor, the only nodes ever sent this replica's journal.
+		// gossipRound pushes to this set and journal truncation waits for
+		// its acknowledgements (see Replica.gossipPeers).
+		n := len(g.reps)
+		for i, r := range g.reps {
+			if n > 1 {
+				succ := g.reps[(i+1)%n]
+				pred := g.reps[(i-1+n)%n]
+				r.gossipPeers = append(r.gossipPeers, succ)
+				if pred != succ {
+					r.gossipPeers = append(r.gossipPeers, pred)
+				}
+			}
+		}
+		c.groups = append(c.groups, g)
 	}
 	if cfg.gossipEvery > 0 {
-		c.stopGossip = tr.Every(cfg.gossipEvery, c.GossipRound)
+		// One anti-entropy schedule per shard: on the live transport each
+		// shard gossips on its own goroutine, so a slow shard never stalls
+		// the others' convergence.
+		for _, g := range c.groups {
+			c.stopGossip = append(c.stopGossip, tr.Every(cfg.gossipEvery, g.gossipRound))
+		}
 	}
 	return c
 }
@@ -350,11 +462,28 @@ func (c *Cluster[S]) Net() *simnet.Network {
 // Now returns the transport's current time.
 func (c *Cluster[S]) Now() sim.Time { return c.tr.Now() }
 
-// Replicas reports the replica count.
-func (c *Cluster[S]) Replicas() int { return len(c.reps) }
+// Replicas reports the replica count per shard.
+func (c *Cluster[S]) Replicas() int { return c.cfg.replicas }
 
-// Replica returns replica i.
-func (c *Cluster[S]) Replica(i int) *Replica[S] { return c.reps[i] }
+// Shards reports the shard count (1 for an unsharded cluster).
+func (c *Cluster[S]) Shards() int { return c.cfg.shards }
+
+// ShardOf reports which shard owns key — a pure function of the shard
+// count and the key, identical across clusters and across runs.
+func (c *Cluster[S]) ShardOf(key string) int { return c.smap.Of(key) }
+
+// Replica returns replica i of shard 0 — the whole cluster when
+// unsharded. Sharded callers address a specific group with ShardReplica.
+func (c *Cluster[S]) Replica(i int) *Replica[S] { return c.groups[0].reps[i] }
+
+// ShardReplica returns replica i of the given shard.
+func (c *Cluster[S]) ShardReplica(shard, i int) *Replica[S] { return c.groups[shard].reps[i] }
+
+// ShardMetrics returns the given shard's view of the engine metrics:
+// the same counters Cluster.M aggregates, restricted to one replica
+// group. Per-shard fold and gossip figures expose load imbalance that
+// the cluster-wide aggregate hides.
+func (c *Cluster[S]) ShardMetrics(shard int) *Metrics { return &c.groups[shard].M }
 
 // CallTimeout reports the configured replica-to-replica call timeout.
 func (c *Cluster[S]) CallTimeout() time.Duration { return c.cfg.callTimeout }
@@ -403,15 +532,15 @@ func (c *Cluster[S]) submitConfig(opts []SubmitOption) submitConfig {
 // resolves; it must not be called from inside a simulator callback (use
 // SubmitAsync there).
 func (c *Cluster[S]) Submit(ctx context.Context, replica int, op Op, opts ...SubmitOption) (Result, error) {
-	if replica < 0 || replica >= len(c.reps) {
-		return Result{Op: op}, fmt.Errorf("quicksand: no replica %d in a cluster of %d", replica, len(c.reps))
+	if replica < 0 || replica >= c.cfg.replicas {
+		return Result{Op: op}, fmt.Errorf("quicksand: no replica %d in a cluster of %d", replica, c.cfg.replicas)
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{Op: op}, err
 	}
 	ready := make(chan struct{})
 	var res Result
-	c.dispatch(c.reps[replica], op, c.submitConfig(opts), func(r Result) {
+	c.dispatch(c.route(replica, op), op, c.submitConfig(opts), func(r Result) {
 		res = r
 		close(ready)
 	})
@@ -421,13 +550,26 @@ func (c *Cluster[S]) Submit(ctx context.Context, replica int, op Op, opts ...Sub
 	return res, nil
 }
 
+// route resolves the replica a submit lands on: replica index i within
+// the group of the shard that owns op's key.
+func (c *Cluster[S]) route(i int, op Op) *Replica[S] {
+	return c.groups[c.smap.Of(op.Key)].reps[i]
+}
+
 // SubmitBatch offers a batch of operations at the given replica and
 // blocks until every outcome is known. Results align with ops by index.
 // Batching amortizes the transport-driving cost of Submit across many
 // operations — the throughput path for bulk ingest.
+//
+// On a sharded cluster the batch is scattered: ops are grouped by the
+// shard that owns their key and each group is dispatched as one unit —
+// in parallel on transports that support it (the live transport runs one
+// goroutine per shard). Ops that share a key share a shard and keep
+// their submission order within its group, so per-key ordering survives
+// the fan-out.
 func (c *Cluster[S]) SubmitBatch(ctx context.Context, replica int, ops []Op, opts ...SubmitOption) ([]Result, error) {
-	if replica < 0 || replica >= len(c.reps) {
-		return nil, fmt.Errorf("quicksand: no replica %d in a cluster of %d", replica, len(c.reps))
+	if replica < 0 || replica >= c.cfg.replicas {
+		return nil, fmt.Errorf("quicksand: no replica %d in a cluster of %d", replica, c.cfg.replicas)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -436,23 +578,63 @@ func (c *Cluster[S]) SubmitBatch(ctx context.Context, replica int, ops []Op, opt
 		return nil, nil
 	}
 	sc := c.submitConfig(opts)
-	rep := c.reps[replica]
 	results := make([]Result, len(ops))
 	ready := make(chan struct{})
 	var pending atomic.Int64
 	pending.Store(int64(len(ops)))
-	for i, op := range ops {
-		c.dispatch(rep, op, sc, func(r Result) {
+	record := func(i int) func(Result) {
+		return func(r Result) {
 			results[i] = r
 			if pending.Add(-1) == 0 {
 				close(ready)
 			}
-		})
+		}
+	}
+	if c.cfg.shards == 1 {
+		rep := c.groups[0].reps[replica]
+		for i, op := range ops {
+			c.dispatch(rep, op, sc, record(i))
+		}
+	} else {
+		byShard := make([][]int, c.cfg.shards)
+		for i, op := range ops {
+			s := c.smap.Of(op.Key)
+			byShard[s] = append(byShard[s], i)
+		}
+		var thunks []func()
+		for s, idxs := range byShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			rep := c.groups[s].reps[replica]
+			idxs := idxs
+			thunks = append(thunks, func() {
+				for _, i := range idxs {
+					c.dispatch(rep, ops[i], sc, record(i))
+				}
+			})
+		}
+		c.scatter(thunks)
 	}
 	if err := c.tr.Await(ctx, ready); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// scatter runs the per-shard dispatch thunks — in parallel when the
+// transport supports Scatterer (real goroutines), sequentially otherwise
+// (the deterministic simulator).
+func (c *Cluster[S]) scatter(thunks []func()) {
+	if len(thunks) > 1 {
+		if sc, ok := c.tr.(Scatterer); ok {
+			sc.Scatter(thunks)
+			return
+		}
+	}
+	for _, fn := range thunks {
+		fn()
+	}
 }
 
 // SubmitAsync offers one operation without blocking; done (which may be
@@ -464,11 +646,11 @@ func (c *Cluster[S]) SubmitAsync(replica int, op Op, done func(Result), opts ...
 	if done == nil {
 		done = func(Result) {}
 	}
-	if replica < 0 || replica >= len(c.reps) {
-		done(Result{Op: op, Reason: fmt.Sprintf("no replica %d in a cluster of %d", replica, len(c.reps))})
+	if replica < 0 || replica >= c.cfg.replicas {
+		done(Result{Op: op, Reason: fmt.Sprintf("no replica %d in a cluster of %d", replica, c.cfg.replicas)})
 		return
 	}
-	c.dispatch(c.reps[replica], op, c.submitConfig(opts), done)
+	c.dispatch(c.route(replica, op), op, c.submitConfig(opts), done)
 }
 
 // SubmitOp offers a caller-built operation at replica i.
@@ -504,9 +686,11 @@ func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func
 	}
 	seen := rep.ops.Contains(op.ID)
 	rep.mu.Unlock()
+	g := rep.g
 	if seen {
 		// A retry of work this replica already did: idempotent accept.
 		c.M.Accepted.Inc()
+		g.M.Accepted.Inc()
 		done(Result{Accepted: true, Op: op, Decision: policy.Async})
 		return
 	}
@@ -517,9 +701,12 @@ func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func
 		res.Latency = c.tr.Now().Sub(start)
 		if res.Accepted {
 			c.M.Accepted.Inc()
+			g.M.Accepted.Inc()
 			c.M.AsyncLat.AddDur(res.Latency)
+			g.M.AsyncLat.AddDur(res.Latency)
 		} else {
 			c.M.Declined.Inc()
+			g.M.Declined.Inc()
 		}
 		done(res)
 	case policy.Sync:
@@ -527,66 +714,99 @@ func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func
 			res.Latency = c.tr.Now().Sub(start)
 			if res.Accepted {
 				c.M.Accepted.Inc()
+				g.M.Accepted.Inc()
 				c.M.SyncAccepted.Inc()
+				g.M.SyncAccepted.Inc()
 				c.M.SyncLat.AddDur(res.Latency)
+				g.M.SyncLat.AddDur(res.Latency)
 			} else {
 				c.M.SyncDeclined.Inc()
+				g.M.SyncDeclined.Inc()
 			}
 			done(res)
 		})
 	}
 }
 
-// GossipRound makes every live replica push-pull with its ring neighbour.
+// GossipRound runs one anti-entropy round on every shard: each live
+// replica push-pulls with its ring neighbour within its own group.
 // Repeated rounds converge the cluster; Converged reports when.
+// Metrics.GossipRounds counts per-shard rounds.
 func (c *Cluster[S]) GossipRound() {
-	c.M.GossipRounds.Inc()
-	n := len(c.reps)
-	for i, rep := range c.reps {
-		peer := c.reps[(i+1)%n]
-		if !rep.node.Crashed() && !peer.node.Crashed() && c.tr.Reachable(rep.id, peer.id) {
-			rep.pushTo(peer.id)
+	for _, g := range c.groups {
+		g.gossipRound()
+	}
+}
+
+// ShardGossipRound runs one anti-entropy round on a single shard.
+func (c *Cluster[S]) ShardGossipRound(shard int) { c.groups[shard].gossipRound() }
+
+// StartGossip starts a per-shard anti-entropy schedule at the given
+// interval; the returned stop function cancels every shard's schedule.
+func (c *Cluster[S]) StartGossip(interval time.Duration) (stop func()) {
+	stops := make([]func(), len(c.groups))
+	for i, g := range c.groups {
+		stops[i] = c.tr.Every(interval, g.gossipRound)
+	}
+	return func() {
+		for _, s := range stops {
+			s()
 		}
 	}
 }
 
-// StartGossip runs GossipRound every interval until the returned stop
-// function is called.
-func (c *Cluster[S]) StartGossip(interval time.Duration) (stop func()) {
-	return c.tr.Every(interval, c.GossipRound)
-}
-
 // StopGossip cancels the background gossip started by WithGossipEvery.
 func (c *Cluster[S]) StopGossip() {
-	if c.stopGossip != nil {
-		c.stopGossip()
-		c.stopGossip = nil
+	for _, stop := range c.stopGossip {
+		stop()
 	}
+	c.stopGossip = nil
 }
 
 // Close releases the cluster's background resources (today: gossip started
 // by WithGossipEvery). Replicas and their state remain readable.
 func (c *Cluster[S]) Close() { c.StopGossip() }
 
-// Converged reports whether every replica holds the same operation set.
-// It compares sets in place (no copies), so polling it in a convergence
-// loop stays cheap even with large ledgers.
+// Converged reports whether every shard has converged: within each
+// group, every replica holds the same operation set. It compares sets in
+// place (no copies), so polling it in a convergence loop stays cheap
+// even with large ledgers.
 func (c *Cluster[S]) Converged() bool {
-	if len(c.reps) == 0 {
-		return true
-	}
-	for i := 1; i < len(c.reps); i++ {
-		if !c.reps[0].sameOps(c.reps[i]) {
+	for _, g := range c.groups {
+		if !g.converged() {
 			return false
 		}
 	}
 	return true
 }
 
-// States returns every replica's current derived state.
+// ShardConverged reports whether one shard's replica group has
+// converged, independently of the others.
+func (c *Cluster[S]) ShardConverged(shard int) bool { return c.groups[shard].converged() }
+
+// States returns every replica's current derived state, shard-major:
+// shard 0's replicas first, then shard 1's, and so on — len is
+// Shards()×Replicas(). On the default single shard this is exactly the
+// historical one-state-per-replica slice. A sharded state covers only
+// the keys its shard owns; merging the per-shard states key-by-key
+// reconstructs what an unsharded run would hold (the differential tests
+// prove this equivalence).
 func (c *Cluster[S]) States() []S {
-	out := make([]S, len(c.reps))
-	for i, r := range c.reps {
+	out := make([]S, 0, len(c.groups)*c.cfg.replicas)
+	for _, g := range c.groups {
+		for _, r := range g.reps {
+			out = append(out, r.State())
+		}
+	}
+	return out
+}
+
+// ShardStates returns the derived state of each replica in one shard's
+// group.
+func (c *Cluster[S]) ShardStates(shard int) []S {
+	g := c.groups[shard]
+	out := make([]S, len(g.reps))
+	for i, r := range g.reps {
 		out[i] = r.State()
 	}
 	return out

@@ -739,6 +739,150 @@ func TestPropIncrementalFoldMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestJournalTruncatedAfterAcks pins the journal memory bound: once every
+// gossip peer has acknowledged a prefix, the replica releases it, so a
+// long-lived replica's journal tracks the gossip lag, not the total op
+// count.
+func TestJournalTruncatedAfterAcks(t *testing.T) {
+	const n = 200
+	s, c := newTestCluster(40, 3)
+	for i := 0; i < n; i++ {
+		submit(t, s, c, i%3, "credit", fmt.Sprintf("k%d", i%10), 1, policy.AlwaysAsync())
+		if i%20 == 0 {
+			c.GossipRound()
+			s.Run()
+		}
+	}
+	// Quiesce: enough rounds for every push to be acked and reciprocated.
+	for i := 0; i < 6; i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	for i := 0; i < 3; i++ {
+		rep := c.Replica(i)
+		if rep.OpCount() != n {
+			t.Fatalf("replica %d holds %d ops, want %d", i, rep.OpCount(), n)
+		}
+		if got := rep.JournalRetained(); got != 0 {
+			t.Fatalf("replica %d retains %d journal entries after full acknowledgement, want 0", i, got)
+		}
+		if rep.JournalTruncated() < n {
+			t.Fatalf("replica %d truncated only %d journal entries", i, rep.JournalTruncated())
+		}
+	}
+}
+
+// TestJournalHeldForCrashedPeer is the safety half: entries a crashed
+// peer has not acknowledged must survive truncation, and the revived
+// peer must still catch up from them.
+func TestJournalHeldForCrashedPeer(t *testing.T) {
+	s, c := newTestCluster(41, 3)
+	c.Net().SetUp("r2", false)
+	for i := 0; i < 30; i++ {
+		submit(t, s, c, 0, "credit", "a", 1, policy.AlwaysAsync())
+	}
+	for i := 0; i < 4; i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	// r1's journal: its successor r2 is down and has acked nothing, so the
+	// 30 gossiped entries must all still be retained.
+	if got := c.Replica(1).JournalRetained(); got < 30 {
+		t.Fatalf("r1 retains %d journal entries with its peer down; prefix truncated too eagerly", got)
+	}
+	c.Net().SetUp("r2", true)
+	for i := 0; i < 6 && !c.Converged(); i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("revived replica never caught up — truncation lost entries it needed")
+	}
+	if got := c.Replica(2).State()["a"]; got != 30 {
+		t.Fatalf("revived replica state = %d, want 30", got)
+	}
+	for i := 0; i < 4; i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	for i := 0; i < 3; i++ {
+		if got := c.Replica(i).JournalRetained(); got != 0 {
+			t.Fatalf("replica %d retains %d entries after the heal quiesced", i, got)
+		}
+	}
+}
+
+// TestShardRoutingAndIsolation exercises the sharded engine on the
+// simulator: ops route to the shard owning their key, groups converge
+// independently, and a sync submit coordinates only within its shard.
+func TestShardRoutingAndIsolation(t *testing.T) {
+	s := sim.New(42)
+	c := New[counterState](counterApp{}, nil, WithSim(s), WithShards(4), WithReplicas(2))
+	if c.Shards() != 4 || c.Replicas() != 2 {
+		t.Fatalf("Shards/Replicas = %d/%d", c.Shards(), c.Replicas())
+	}
+	if got := c.ShardReplica(2, 1).ID(); got != "s2/r1" {
+		t.Fatalf("sharded node id = %q, want s2/r1", got)
+	}
+	if got := c.ShardReplica(1, 0).Shard(); got != 1 {
+		t.Fatalf("Shard() = %d, want 1", got)
+	}
+	const keys = 16
+	for k := 0; k < keys; k++ {
+		submit(t, s, c, 0, "credit", fmt.Sprintf("k%d", k), int64(k+1), policy.AlwaysAsync())
+	}
+	// Each op must have landed on exactly the shard that owns its key.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		home := c.ShardOf(key)
+		for sh := 0; sh < c.Shards(); sh++ {
+			got := c.ShardReplica(sh, 0).State()[key]
+			want := int64(0)
+			if sh == home {
+				want = int64(k + 1)
+			}
+			if got != want {
+				t.Fatalf("key %s on shard %d: state %d, want %d (home %d)", key, sh, got, want, home)
+			}
+		}
+	}
+	for i := 0; i < 4 && !c.Converged(); i++ {
+		c.GossipRound()
+		s.Run()
+	}
+	if !c.Converged() {
+		t.Fatal("sharded cluster did not converge")
+	}
+	// A coordinated submit touches only its own group's replicas.
+	res := submit(t, s, c, 0, "credit", "sync-key", 5, policy.AlwaysSync())
+	if !res.Accepted {
+		t.Fatalf("sync submit declined: %s", res.Reason)
+	}
+	home := c.ShardOf("sync-key")
+	for sh := 0; sh < c.Shards(); sh++ {
+		for i := 0; i < c.Replicas(); i++ {
+			_, has := c.ShardReplica(sh, i).Ops().Get(res.Op.ID)
+			if has != (sh == home) {
+				t.Fatalf("sync op on shard %d replica %d: present=%v, home=%d", sh, i, has, home)
+			}
+		}
+	}
+	// Per-shard metrics saw the work; shards with no sync never coordinated.
+	if c.ShardMetrics(home).SyncAccepted.Value() != 1 {
+		t.Fatalf("home shard SyncAccepted = %d", c.ShardMetrics(home).SyncAccepted.Value())
+	}
+	var total int64
+	for sh := 0; sh < c.Shards(); sh++ {
+		total += c.ShardMetrics(sh).Accepted.Value()
+	}
+	if total != c.M.Accepted.Value() || total != keys+1 {
+		t.Fatalf("shard metrics sum %d, cluster %d, want %d", total, c.M.Accepted.Value(), keys+1)
+	}
+}
+
 // TestDuplicateLocalSubmitRecordsNoSecondGuess pins the ledger fix: a
 // duplicate reaching submitLocal (a retry that raced past dispatch's
 // idempotency check) must not record a second Guess for work that was

@@ -9,10 +9,10 @@ import (
 	"repro/internal/uniq"
 )
 
-// Wire messages.
+// Wire messages. Senders are identified by the transport's from
+// parameter, never duplicated in the payload.
 type (
 	pushReq struct {
-		From    string
 		Entries []oplog.Entry
 	}
 	pushAck  struct{ OK bool }
@@ -32,15 +32,26 @@ type (
 // admission check is a guess against a snapshot, exactly as §5.1 demands.
 type Replica[S any] struct {
 	c    *Cluster[S]
+	g    *shardGroup[S] // the shard this replica serves
 	id   string
 	node Node
 	gen  *uniq.Gen
 
+	// gossipPeers is the fixed set of peers this replica ever pushes its
+	// journal to: its ring successor and predecessor within the shard
+	// group. It is the single source of truth for that relationship —
+	// gossipRound pushes to exactly these peers, and journal truncation
+	// waits for acknowledgements from exactly them; deriving either side
+	// elsewhere would let the two drift and either lose entries a peer
+	// still needs or leak the journal again.
+	gossipPeers []*Replica[S]
+
 	mu      sync.Mutex
 	ops     *oplog.Set
-	journal []oplog.Entry  // arrival order, for incremental gossip
-	sentTo  map[string]int // journal prefix acked by each peer
-	lamport uint64         // highest Lamport timestamp seen
+	journal oplog.Journal   // arrival order, for incremental gossip; prefix truncated once acked
+	sentTo  map[string]int  // journal prefix (absolute position) acked by each peer
+	pushing map[string]bool // peers with a push in flight, to keep rounds from resending the suffix
+	lamport uint64          // highest Lamport timestamp seen
 
 	// The fold checkpoint: state is the fold of every entry at or before
 	// stateMark (stateN of them); stateDirty records that entries beyond
@@ -71,14 +82,16 @@ type foldSnap[S any] struct {
 // replays from genesis — the pre-checkpoint cost, paid only then.
 const maxFoldSnaps = 8
 
-func newReplica[S any](c *Cluster[S], id string) *Replica[S] {
+func newReplica[S any](c *Cluster[S], g *shardGroup[S], id string) *Replica[S] {
 	r := &Replica[S]{
-		c:      c,
-		id:     id,
-		gen:    uniq.NewGen(id),
-		ops:    oplog.NewSet(),
-		sentTo: make(map[string]int),
-		state:  c.app.Init(),
+		c:       c,
+		g:       g,
+		id:      id,
+		gen:     uniq.NewGen(id),
+		ops:     oplog.NewSet(),
+		sentTo:  make(map[string]int),
+		pushing: make(map[string]bool),
+		state:   c.app.Init(),
 	}
 	r.node = c.tr.Node(id, c.cfg.callTimeout)
 	r.node.Handle("push", r.handlePush)
@@ -87,8 +100,31 @@ func newReplica[S any](c *Cluster[S], id string) *Replica[S] {
 	return r
 }
 
-// ID returns the replica's name.
+// ID returns the replica's name — its transport node id (r0, r1, ... on
+// an unsharded cluster; s<shard>/r<i> on a sharded one).
 func (r *Replica[S]) ID() string { return r.id }
+
+// Shard reports which shard this replica serves.
+func (r *Replica[S]) Shard() int { return r.g.idx }
+
+// JournalRetained reports how many gossip-journal entries this replica
+// still holds in memory. Once every gossip peer has acknowledged a
+// prefix it is truncated, so on a healthy cluster this stays bounded by
+// the entries absorbed since the last full gossip cycle rather than
+// growing with the ledger.
+func (r *Replica[S]) JournalRetained() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journal.Retained()
+}
+
+// JournalTruncated reports how many journal entries have been truncated
+// away after acknowledgement by every gossip peer.
+func (r *Replica[S]) JournalTruncated() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journal.Base()
+}
 
 // OpCount reports how many distinct operations this replica has seen.
 func (r *Replica[S]) OpCount() int {
@@ -155,6 +191,7 @@ func (r *Replica[S]) foldLocked() {
 		// O(set size) per derivation.
 		r.state = oplog.Fold(r.ops, r.c.app.Init(), r.c.app.Step)
 		r.c.M.FoldSteps.Addn(int64(r.ops.Len()))
+		r.g.M.FoldSteps.Addn(int64(r.ops.Len()))
 		return
 	}
 	pending := r.ops.EntriesAfter(r.stateMark)
@@ -177,6 +214,7 @@ func (r *Replica[S]) foldLocked() {
 	}
 	r.stateMark = pending[len(pending)-1].Mark()
 	r.c.M.FoldSteps.Addn(int64(len(pending)))
+	r.g.M.FoldSteps.Addn(int64(len(pending)))
 }
 
 // checkpointLocked stores a cloned snapshot of the fold at mark, keeping
@@ -189,6 +227,7 @@ func (r *Replica[S]) checkpointLocked(mark oplog.Watermark) {
 		r.snaps = r.snaps[:maxFoldSnaps]
 	}
 	r.c.M.FoldCheckpoints.Inc()
+	r.g.M.FoldCheckpoints.Inc()
 }
 
 // rewindLocked reacts to an entry that sorts at or behind the fold
@@ -213,11 +252,17 @@ func (r *Replica[S]) rewindLocked(m oplog.Watermark) {
 	}
 	r.stateShared = false
 	r.c.M.FoldRewinds.Inc()
+	r.g.M.FoldRewinds.Inc()
 }
 
 // absorbLocked unions entries into the set and returns the ones that were
-// new. The caller holds r.mu.
-func (r *Replica[S]) absorbLocked(entries []oplog.Entry) []oplog.Entry {
+// new. from names the peer the entries arrived from ("" for local
+// submits): when the new entries land contiguously at the journal tail,
+// the sender's acknowledgement mark advances over them — it evidently
+// holds them already, so pushing them back would only be deduplicated
+// echo. The caller holds r.mu.
+func (r *Replica[S]) absorbLocked(entries []oplog.Entry, from string) []oplog.Entry {
+	contiguous := from != "" && r.sentTo[from] == r.journal.Len()
 	var added []oplog.Entry
 	for _, e := range entries {
 		if r.ops.Add(e) {
@@ -231,21 +276,30 @@ func (r *Replica[S]) absorbLocked(entries []oplog.Entry) []oplog.Entry {
 				// gossip can deliver it.
 				r.rewindLocked(e.Mark())
 			}
-			r.journal = append(r.journal, e)
+			if len(r.gossipPeers) > 0 {
+				// A lone replica never pushes, so journaling for it would
+				// only accumulate memory.
+				r.journal.Append(e)
+			}
 			added = append(added, e)
 		}
 	}
 	if len(added) > 0 {
 		r.stateDirty = true
+		if contiguous {
+			r.sentTo[from] = r.journal.Len()
+			r.truncateJournalLocked()
+		}
 	}
 	return added
 }
 
 // absorb unions entries into the set, updates the ledger, and sweeps for
-// newly exposed rule violations. It returns how many entries were new.
-func (r *Replica[S]) absorb(entries []oplog.Entry, how string) int {
+// newly exposed rule violations. from names the sending peer ("" for
+// local work). It returns how many entries were new.
+func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string) int {
 	r.mu.Lock()
-	added := r.absorbLocked(entries)
+	added := r.absorbLocked(entries, from)
 	r.mu.Unlock()
 	now := r.c.tr.Now()
 	for _, e := range added {
@@ -294,7 +348,7 @@ func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
 			}
 		}
 	}
-	added := r.absorbLocked([]oplog.Entry{op})
+	added := r.absorbLocked([]oplog.Entry{op}, "")
 	r.mu.Unlock()
 	if len(added) > 0 {
 		// Only a newly recorded op is a fresh guess; a duplicate (a retry
@@ -324,7 +378,7 @@ func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 		}
 	}
 	var peers []string
-	for _, other := range r.c.reps {
+	for _, other := range r.g.reps {
 		if other != r {
 			peers = append(peers, other.id)
 		}
@@ -341,44 +395,74 @@ func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 			}
 		}
 		// All agreed: apply everywhere synchronously, then ack.
-		r.absorb([]oplog.Entry{op}, "sync")
+		r.absorb([]oplog.Entry{op}, "sync", "")
 		r.node.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
 			done(Result{Accepted: true, Op: op, Decision: policy.Sync})
 		})
 	})
 }
 
-// pushTo sends the journal suffix the peer has not acknowledged, and asks
-// the peer to reciprocate — one push-pull pair of an anti-entropy round.
+// pushTo sends the journal suffix the peer has not acknowledged — one
+// directed edge of an anti-entropy round. An acknowledgement may let the
+// replica truncate the journal prefix that every gossip peer has now
+// seen.
 func (r *Replica[S]) pushTo(peer string) {
 	r.mu.Lock()
+	if r.pushing[peer] {
+		// A push to this peer is still in flight. Sending again would
+		// retransmit the same unacknowledged suffix — under ingest load
+		// that compounds into a resend storm, each round re-shipping and
+		// re-deduplicating an ever-growing window. The next round (or the
+		// ack) picks up whatever is new.
+		r.mu.Unlock()
+		return
+	}
 	from := r.sentTo[peer]
-	entries := append([]oplog.Entry(nil), r.journal[from:]...)
-	end := len(r.journal)
+	entries := r.journal.Since(from)
+	end := r.journal.Len()
+	if len(entries) == 0 {
+		// Nothing the peer hasn't acknowledged. Skipping the call costs
+		// only reciprocation speed — the peer still pushes its own news
+		// forward around the ring every round — and makes idle gossip
+		// free, which matters when many shards each run their own rounds.
+		r.mu.Unlock()
+		return
+	}
+	r.pushing[peer] = true
 	r.mu.Unlock()
 	r.c.M.OpsTransferred.Addn(int64(len(entries)))
-	r.node.Call(peer, "push", pushReq{From: r.id, Entries: entries}, func(resp any, ok bool) {
-		if ok && resp.(pushAck).OK {
-			r.mu.Lock()
-			if end > r.sentTo[peer] {
-				r.sentTo[peer] = end
-			}
-			r.mu.Unlock()
+	r.g.M.OpsTransferred.Addn(int64(len(entries)))
+	r.node.Call(peer, "push", pushReq{Entries: entries}, func(resp any, ok bool) {
+		r.mu.Lock()
+		delete(r.pushing, peer)
+		if ok && resp.(pushAck).OK && end > r.sentTo[peer] {
+			r.sentTo[peer] = end
+			r.truncateJournalLocked()
 		}
+		r.mu.Unlock()
 	})
+}
+
+// truncateJournalLocked drops the journal prefix acknowledged by every
+// gossip peer. Peers that have acked less (a crashed successor, a
+// partitioned predecessor) hold the prefix in place, so anti-entropy
+// never loses an entry a peer still needs — but once all acks cover it,
+// a long-lived replica's journal no longer grows with total ops, only
+// with the entries absorbed since the slowest peer's last ack.
+func (r *Replica[S]) truncateJournalLocked() {
+	min := r.journal.Len()
+	for _, p := range r.gossipPeers {
+		if v := r.sentTo[p.id]; v < min {
+			min = v
+		}
+	}
+	r.journal.TruncateTo(min)
 }
 
 func (r *Replica[S]) handlePush(from string, req any, reply func(any)) {
 	p := req.(pushReq)
-	r.absorb(p.Entries, "gossip")
+	r.absorb(p.Entries, "gossip", from)
 	reply(pushAck{OK: true})
-	// Reciprocate if this replica knows things the pusher might not.
-	r.mu.Lock()
-	behind := r.sentTo[p.From] < len(r.journal)
-	r.mu.Unlock()
-	if behind {
-		r.pushTo(p.From)
-	}
 }
 
 func (r *Replica[S]) handleAdmit(from string, req any, reply func(any)) {
@@ -397,6 +481,6 @@ func (r *Replica[S]) handleAdmit(from string, req any, reply func(any)) {
 
 func (r *Replica[S]) handleApply(from string, req any, reply func(any)) {
 	a := req.(applyReq)
-	r.absorb([]oplog.Entry{a.Op}, "sync")
+	r.absorb([]oplog.Entry{a.Op}, "sync", from)
 	reply(pushAck{OK: true})
 }

@@ -64,6 +64,16 @@ type Transport interface {
 	Reachable(a, b string) bool
 }
 
+// Scatterer is an optional Transport capability: run independent work
+// functions to completion, in parallel when the transport's world allows
+// it. The sharded SubmitBatch uses it to fan a batch out across shards —
+// the live transport runs one goroutine per function so shard groups
+// ingest concurrently; the simulator deliberately does not implement it
+// and falls back to sequential dispatch, keeping runs deterministic.
+type Scatterer interface {
+	Scatter(fns []func())
+}
+
 // ErrStalled reports that a blocking Submit can never resolve because the
 // transport ran out of work to do — on the simulator, the event queue
 // drained with the submit still pending.

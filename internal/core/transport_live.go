@@ -87,6 +87,21 @@ func (t *LiveTransport) Every(interval time.Duration, fn func()) (stop func()) {
 	}
 }
 
+// Scatter runs every fn on its own goroutine and waits for all of them —
+// the live half of the Scatterer capability, which lets a sharded
+// SubmitBatch drive independent shard groups in true parallel.
+func (t *LiveTransport) Scatter(fns []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
 // Await blocks until ready closes or ctx is done. Real goroutines make
 // their own progress, so there is nothing to drive.
 func (t *LiveTransport) Await(ctx context.Context, ready <-chan struct{}) error {

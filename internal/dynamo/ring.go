@@ -1,76 +1,26 @@
 package dynamo
 
 import (
-	"fmt"
-	"hash/fnv"
-	"sort"
-
+	"repro/internal/shard"
 	"repro/internal/simnet"
 )
 
-// ring is a consistent-hash ring with virtual nodes, the partitioning
-// scheme of the Dynamo paper's §4.2 (and of §2.3 of Helland & Campbell:
-// data carved into uniquely keyed chunks that live on one node at a time).
+// ring adapts the shared consistent-hash ring (internal/shard, lifted
+// from this package so the replication engine can route keys to shards
+// with the same structure) to Dynamo's preference-list semantics: data
+// carved into uniquely keyed chunks that live on one node at a time
+// (Helland & Campbell §2.3, Dynamo §4.2).
 type ring struct {
-	points []ringPoint // sorted by hash
-}
-
-type ringPoint struct {
-	hash uint64
-	node simnet.NodeID
-}
-
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	x := h.Sum64()
-	// FNV-1a of short, similar strings (node vnode labels) barely
-	// avalanches, leaving each node's points clustered on one arc.
-	// Finish with murmur3's fmix64 to spread them.
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
+	r *shard.Ring[simnet.NodeID]
 }
 
 func newRing(nodes []simnet.NodeID, vnodes int) *ring {
-	r := &ring{}
-	for _, n := range nodes {
-		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
-		}
-	}
-	sort.Slice(r.points, func(i, j int) bool {
-		if r.points[i].hash != r.points[j].hash {
-			return r.points[i].hash < r.points[j].hash
-		}
-		return r.points[i].node < r.points[j].node
-	})
-	return r
+	return &ring{r: shard.NewRing(nodes, vnodes)}
 }
 
 // walk visits distinct physical nodes clockwise from key's hash position
 // until fn returns false.
-func (r *ring) walk(key string, fn func(simnet.NodeID) bool) {
-	if len(r.points) == 0 {
-		return
-	}
-	h := hash64(key)
-	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	seen := make(map[simnet.NodeID]bool)
-	for i := 0; i < len(r.points); i++ {
-		p := r.points[(start+i)%len(r.points)]
-		if seen[p.node] {
-			continue
-		}
-		seen[p.node] = true
-		if !fn(p.node) {
-			return
-		}
-	}
-}
+func (r *ring) walk(key string, fn func(simnet.NodeID) bool) { r.r.Walk(key, fn) }
 
 // preferenceList returns the first n distinct nodes for key. When sloppy
 // is true, nodes reported down by isUp are skipped and substituted by the

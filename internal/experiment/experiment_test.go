@@ -57,8 +57,8 @@ func TestRegistryCompleteAndUnique(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 17 {
-		t.Fatalf("expected 17 experiments, have %d", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 experiments, have %d", len(seen))
 	}
 	if _, err := ByID("nope"); err == nil {
 		t.Fatal("ByID accepted an unknown id")
@@ -293,6 +293,55 @@ func TestE13CheckpointedFoldBeatsRefoldTenfold(t *testing.T) {
 	speedup := num(t, strings.TrimSuffix(cell(t, tab, last, "refold speedup"), "×"))
 	if speedup < 10 {
 		t.Fatalf("10k-op speedup = %.1f×, want ≥10×", speedup)
+	}
+}
+
+func TestE14ShardingPreservesPerKeyOutcomes(t *testing.T) {
+	tab := run(t, "E14")
+	// Row 0 is the unsharded arm (a single shard carrying everything);
+	// the remaining rows are the sharded arm, one per shard. (E14 itself
+	// panics if the two arms accept different ops or apologize
+	// differently, so a returned table already proves equivalence.)
+	if got := cell(t, tab, 0, "shards"); got != "1" {
+		t.Fatalf("first row is not the unsharded arm: %q", got)
+	}
+	if got := cell(t, tab, 0, "op share"); got != "100%" {
+		t.Fatalf("unsharded arm op share = %q, want 100%%", got)
+	}
+	baseOps := num(t, cell(t, tab, 0, "ops"))
+	baseApologies := num(t, cell(t, tab, 0, "apologies"))
+	if baseApologies == 0 {
+		t.Fatal("the skewed storm produced no apologies; the workload is not stressing guesses")
+	}
+	var shardOps, shardApologies, maxShare float64
+	apologyShards := 0
+	for r := 1; r < len(tab.Rows); r++ {
+		shardOps += num(t, cell(t, tab, r, "ops"))
+		a := num(t, cell(t, tab, r, "apologies"))
+		shardApologies += a
+		if a > 0 {
+			apologyShards++
+		}
+		if share := num(t, cell(t, tab, r, "op share")); share > maxShare {
+			maxShare = share
+		}
+	}
+	if shardOps != baseOps {
+		t.Fatalf("sharded arm accepted %v ops, unsharded %v — sharding changed admission", shardOps, baseOps)
+	}
+	if shardApologies != baseApologies {
+		t.Fatalf("sharded arm apologized %v times, unsharded %v", shardApologies, baseApologies)
+	}
+	// The hot key skews load onto its shard but pins every apology there:
+	// the other shards run clean.
+	if apologyShards != 1 {
+		t.Fatalf("apologies landed on %d shards, want exactly the hot one", apologyShards)
+	}
+	if maxShare <= 100/float64(len(tab.Rows)-1) {
+		t.Fatalf("max shard share %v%% shows no skew across %d shards", maxShare, len(tab.Rows)-1)
+	}
+	if maxShare >= 100 {
+		t.Fatal("one shard carried everything; sharding did not spread the workload")
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 
 // Experiment is one runnable claim-check.
 type Experiment struct {
-	ID    string // E1..E13, A1..A4
+	ID    string // E1..E14, A1..A4
 	Title string
 	Claim string // the paper text this experiment tests, with section
 	Run   func(seed int64) *stats.Table
@@ -35,6 +35,7 @@ func All() []Experiment {
 		E11Idempotence(),
 		E12CAPAvailability(),
 		E13IncrementalFold(),
+		E14ShardedHotKey(),
 		A1OpVsStateMerge(),
 		A2GroupCommit(),
 		A3QuorumSweep(),

@@ -31,6 +31,7 @@
 package oplog
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/sim"
@@ -252,4 +253,60 @@ func Fold[S any](s *Set, init S, fn func(S, Entry) S) S {
 		acc = fn(acc, e)
 	}
 	return acc
+}
+
+// Journal is an arrival-ordered send buffer with a truncatable prefix —
+// the structure behind incremental anti-entropy. A replica appends every
+// entry it absorbs and remembers, per peer, the absolute position that
+// peer has acknowledged; once every peer it gossips with has acknowledged
+// a prefix, TruncateTo releases that prefix's memory. Positions are
+// absolute (they keep counting across truncations), so acknowledgement
+// bookkeeping never shifts. The zero Journal is ready to use.
+type Journal struct {
+	base    int // entries truncated off the front
+	entries []Entry
+}
+
+// Append records one entry at position Len().
+func (j *Journal) Append(e Entry) { j.entries = append(j.entries, e) }
+
+// Len is the absolute length: every entry ever appended, including the
+// truncated prefix.
+func (j *Journal) Len() int { return j.base + len(j.entries) }
+
+// Base reports how many leading entries have been truncated away.
+func (j *Journal) Base() int { return j.base }
+
+// Retained reports how many entries are still held in memory — the
+// figure journal truncation exists to bound.
+func (j *Journal) Retained() int { return len(j.entries) }
+
+// Since returns a copy of the entries at absolute positions [from, Len()).
+// Asking for a position inside the truncated prefix panics: those entries
+// are gone, and silently serving a shorter suffix would break the
+// anti-entropy invariant that a peer receives every entry past its ack.
+func (j *Journal) Since(from int) []Entry {
+	if from < j.base {
+		panic(fmt.Sprintf("oplog: journal suffix from %d requested but prefix truncated to %d", from, j.base))
+	}
+	if from >= j.Len() {
+		return nil
+	}
+	return append([]Entry(nil), j.entries[from-j.base:]...)
+}
+
+// TruncateTo drops every entry before absolute position n, reallocating
+// the tail so the dropped prefix's backing memory is actually released.
+// Positions at or below Base (nothing new) and beyond Len (clamped) are
+// both safe.
+func (j *Journal) TruncateTo(n int) {
+	if n > j.Len() {
+		n = j.Len()
+	}
+	if n <= j.base {
+		return
+	}
+	keep := j.entries[n-j.base:]
+	j.entries = append(make([]Entry, 0, len(keep)), keep...)
+	j.base = n
 }

@@ -323,6 +323,126 @@ func TestMaxLam(t *testing.T) {
 	}
 }
 
+// TestEntriesAfterWatermarkEdges pins the three boundary behaviours the
+// fold checkpoint leans on: the genesis watermark yields everything, the
+// watermark of the newest entry yields nothing, and a gossip insert that
+// ties the watermark on (Lam, At) is classified purely by the ID
+// tie-break — behind the watermark when its ID sorts lower, beyond it
+// when higher.
+func TestEntriesAfterWatermarkEdges(t *testing.T) {
+	s := NewSet(
+		Entry{ID: "m", Lam: 4, At: 9},
+		Entry{ID: "t", Lam: 7, At: 2},
+	)
+	// Genesis: every entry, even before any fold has happened.
+	if got := s.EntriesAfter(Watermark{}); len(got) != 2 {
+		t.Fatalf("genesis EntriesAfter = %d entries, want 2", len(got))
+	}
+	// At the exact watermark entry: the entry itself is excluded — it is
+	// already folded — and only strictly later entries remain.
+	w := Entry{ID: "m", Lam: 4, At: 9}.Mark()
+	if got := s.EntriesAfter(w); len(got) != 1 || got[0].ID != "t" {
+		t.Fatalf("EntriesAfter(exact mark) = %+v, want just t", got)
+	}
+	if got := s.EntriesAfter(Entry{ID: "t", Lam: 7, At: 2}.Mark()); got != nil {
+		t.Fatalf("EntriesAfter(newest mark) = %+v, want nil", got)
+	}
+
+	// Two inserts tie the watermark on (Lam, At) exactly; only the ID
+	// decides which side of the fold they land on.
+	behind := Entry{ID: "a", Lam: 4, At: 9} // "a" < "m"
+	beyond := Entry{ID: "z", Lam: 4, At: 9} // "z" > "m"
+	s.Add(behind)
+	s.Add(beyond)
+	if w.Before(behind) {
+		t.Fatal("lower-ID tie must sort behind the watermark (consumer rewinds)")
+	}
+	if !w.Before(beyond) {
+		t.Fatal("higher-ID tie must sort beyond the watermark (incremental fold)")
+	}
+	got := s.EntriesAfter(w)
+	if len(got) != 2 || got[0].ID != "z" || got[1].ID != "t" {
+		t.Fatalf("EntriesAfter after tied inserts = %+v, want [z t]", got)
+	}
+	// And the full canonical order interleaves the tie by ID.
+	es := s.Entries()
+	want := []uniq.ID{"a", "m", "z", "t"}
+	for i, id := range want {
+		if es[i].ID != id {
+			t.Fatalf("canonical order = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestJournalAppendSinceLen(t *testing.T) {
+	var j Journal
+	if j.Len() != 0 || j.Retained() != 0 || j.Base() != 0 {
+		t.Fatal("zero journal not empty")
+	}
+	if got := j.Since(0); got != nil {
+		t.Fatalf("Since on empty journal = %+v", got)
+	}
+	for i := 0; i < 5; i++ {
+		j.Append(e(string(rune('a'+i)), int64(i)))
+	}
+	if j.Len() != 5 || j.Retained() != 5 {
+		t.Fatalf("Len/Retained = %d/%d, want 5/5", j.Len(), j.Retained())
+	}
+	got := j.Since(2)
+	if len(got) != 3 || got[0].ID != "c" || got[2].ID != "e" {
+		t.Fatalf("Since(2) = %+v", got)
+	}
+	// Since returns a copy, not a window into the journal.
+	got[0].Kind = "mutated"
+	if j.Since(2)[0].Kind != "op" {
+		t.Fatal("Since exposed internal storage")
+	}
+}
+
+func TestJournalTruncate(t *testing.T) {
+	var j Journal
+	for i := 0; i < 6; i++ {
+		j.Append(e(string(rune('a'+i)), int64(i)))
+	}
+	j.TruncateTo(4)
+	if j.Base() != 4 || j.Retained() != 2 || j.Len() != 6 {
+		t.Fatalf("after TruncateTo(4): base=%d retained=%d len=%d", j.Base(), j.Retained(), j.Len())
+	}
+	if got := j.Since(4); len(got) != 2 || got[0].ID != "e" {
+		t.Fatalf("Since(4) after truncation = %+v", got)
+	}
+	// Absolute positions keep counting across the truncation.
+	j.Append(e("g", 6))
+	if j.Len() != 7 || j.Since(6)[0].ID != "g" {
+		t.Fatalf("append after truncation broke positions: len=%d", j.Len())
+	}
+	// Truncating backwards or to the current base is a no-op.
+	j.TruncateTo(2)
+	j.TruncateTo(4)
+	if j.Base() != 4 || j.Retained() != 3 {
+		t.Fatalf("backwards truncation moved the base: base=%d retained=%d", j.Base(), j.Retained())
+	}
+	// Truncating past the end clamps and empties the journal.
+	j.TruncateTo(100)
+	if j.Base() != 7 || j.Retained() != 0 || j.Len() != 7 {
+		t.Fatalf("clamped truncation wrong: base=%d retained=%d len=%d", j.Base(), j.Retained(), j.Len())
+	}
+}
+
+func TestJournalSinceTruncatedPanics(t *testing.T) {
+	var j Journal
+	for i := 0; i < 4; i++ {
+		j.Append(e(string(rune('a'+i)), int64(i)))
+	}
+	j.TruncateTo(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Since inside the truncated prefix must panic, not serve a short suffix")
+		}
+	}()
+	j.Since(1)
+}
+
 func TestCanonicalOrderLamportFirst(t *testing.T) {
 	// Lamport order outranks wall time and ID: a causally later op with
 	// an "earlier" ID still folds last.

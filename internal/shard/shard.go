@@ -1,0 +1,142 @@
+// Package shard implements consistent-hash key partitioning — the
+// scale-out move of Building on Quicksand §6: once per-entity eventual
+// consistency is accepted, "data is carved into uniquely keyed chunks"
+// (§2.3) and each chunk lives with one replica group, so unrelated keys
+// never share a lock, a ledger, or a gossip round.
+//
+// Ring is the general structure: a consistent-hash ring with virtual
+// nodes, generic over the member type, lifted from the Dynamo
+// reproduction (internal/dynamo) so both the store's preference lists
+// and the replication engine's shard routing share one implementation.
+// Map specializes it to the engine's need: a fixed number of shards and
+// a pure key→shard function.
+package shard
+
+import (
+	"cmp"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Hash64 hashes a key to a ring position. FNV-1a of short, similar
+// strings (vnode labels, sequential keys) barely avalanches, leaving
+// points clustered on one arc; a murmur3 fmix64 finisher spreads them.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Ring is a consistent-hash ring with virtual nodes, the partitioning
+// scheme of the Dynamo paper's §4.2. It is immutable after construction
+// and safe for concurrent use.
+type Ring[M cmp.Ordered] struct {
+	points []point[M] // sorted by hash
+}
+
+type point[M cmp.Ordered] struct {
+	hash   uint64
+	member M
+}
+
+// NewRing places vnodes points per member on the ring. Construction is
+// deterministic: the same members and vnodes always produce the same
+// ring.
+func NewRing[M cmp.Ordered](members []M, vnodes int) *Ring[M] {
+	r := &Ring[M]{}
+	for _, m := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point[M]{hash: Hash64(fmt.Sprintf("%v#%d", m, v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Walk visits distinct members clockwise from key's hash position until
+// fn returns false.
+func (r *Ring[M]) Walk(key string, fn func(M) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	h := Hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[M]bool)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		if !fn(p.member) {
+			return
+		}
+	}
+}
+
+// Owner returns the first member clockwise from key — the key's home.
+// ok is false only on an empty ring. Unlike Walk it allocates nothing:
+// it sits on every submit's routing path.
+func (r *Ring[M]) Owner(key string) (owner M, ok bool) {
+	if len(r.points) == 0 {
+		return owner, false
+	}
+	h := Hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	return r.points[i%len(r.points)].member, true
+}
+
+// mapVNodes balances a Map's shards to within a few percent of each
+// other for uniformly drawn keys without making construction costly.
+const mapVNodes = 64
+
+// Map routes keys to one of a fixed number of shards. It is a pure
+// function of (shards, key): every caller that builds a Map with the
+// same shard count routes every key identically — the invariant the
+// replication engine's cross-run differential tests rest on. The
+// single-shard Map short-circuits to shard 0 without hashing, so an
+// unsharded cluster pays nothing for the seam.
+type Map struct {
+	n    int
+	ring *Ring[int]
+}
+
+// NewMap builds a map over n shards (values below 1 fall back to 1).
+func NewMap(n int) *Map {
+	if n < 1 {
+		n = 1
+	}
+	m := &Map{n: n}
+	if n > 1 {
+		members := make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
+		m.ring = NewRing(members, mapVNodes)
+	}
+	return m
+}
+
+// Shards reports the shard count.
+func (m *Map) Shards() int { return m.n }
+
+// Of returns the shard that owns key, in [0, Shards()).
+func (m *Map) Of(key string) int {
+	if m.n == 1 {
+		return 0
+	}
+	s, _ := m.ring.Owner(key)
+	return s
+}

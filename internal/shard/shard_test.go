@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministic(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"}, 16)
+	b := NewRing([]string{"a", "b", "c"}, 16)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, ok := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if !ok || oa != ob {
+			t.Fatalf("owner of %q differs across identical rings: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+func TestWalkVisitsDistinctMembers(t *testing.T) {
+	r := NewRing([]int{0, 1, 2, 3}, 8)
+	var visited []int
+	r.Walk("some-key", func(m int) bool {
+		visited = append(visited, m)
+		return true
+	})
+	if len(visited) != 4 {
+		t.Fatalf("walk visited %d members, want 4 distinct", len(visited))
+	}
+	seen := map[int]bool{}
+	for _, m := range visited {
+		if seen[m] {
+			t.Fatalf("walk revisited member %d", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing[string](nil, 8)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Walk("k", func(string) bool { t.Fatal("walked an empty ring"); return false })
+}
+
+func TestMapCoversAllShardsRoughlyEvenly(t *testing.T) {
+	const n, keys = 4, 8000
+	m := NewMap(n)
+	if m.Shards() != n {
+		t.Fatalf("Shards() = %d, want %d", m.Shards(), n)
+	}
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		s := m.Of(fmt.Sprintf("key-%05d", i))
+		if s < 0 || s >= n {
+			t.Fatalf("Of returned out-of-range shard %d", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		// Each shard should hold a meaningful share: consistent hashing
+		// with 64 vnodes lands well inside [half, double] of fair share.
+		if c < keys/n/2 || c > keys/n*2 {
+			t.Fatalf("shard %d holds %d of %d keys — badly unbalanced: %v", s, c, keys, counts)
+		}
+	}
+}
+
+func TestMapStableAcrossInstances(t *testing.T) {
+	a, b := NewMap(8), NewMap(8)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("acct-%d", i)
+		if a.Of(key) != b.Of(key) {
+			t.Fatalf("key %q routed to %d and %d by identical maps", key, a.Of(key), b.Of(key))
+		}
+	}
+}
+
+func TestMapSingleShardShortCircuit(t *testing.T) {
+	m := NewMap(1)
+	for _, key := range []string{"", "a", "zzz"} {
+		if m.Of(key) != 0 {
+			t.Fatalf("single-shard map routed %q to %d", key, m.Of(key))
+		}
+	}
+	if NewMap(0).Shards() != 1 || NewMap(-3).Shards() != 1 {
+		t.Fatal("invalid shard counts must fall back to 1")
+	}
+}

@@ -12,6 +12,7 @@ package quicksand_test
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -100,6 +101,71 @@ func BenchmarkLiveFold10kCheckpointed(b *testing.B) { benchLiveFold(b) }
 // derive the identical final state; see also TestFoldEnginesAgree in
 // api_test.go and experiment E13 for the sim-transport numbers).
 func BenchmarkLiveFold10kFullRefold(b *testing.B) { benchLiveFold(b, quicksand.WithFullRefold()) }
+
+// BenchmarkLiveSharded measures what sharding buys on real hardware:
+// rule-checked submits of many keys, all offered at replica index 0, so
+// the unsharded cluster serializes every op behind one replica mutex
+// while the sharded cluster spreads the same stream across one
+// independent lock/fold/gossip domain per shard. Near-linear ops/s
+// scaling 1→4 shards on a multi-core box is the acceptance target.
+func BenchmarkLiveSharded(b *testing.B) {
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := quicksand.New[int64](sumApp{}, []quicksand.Rule[int64]{admitAll()},
+				quicksand.WithShards(shards),
+				quicksand.WithGossipEvery(time.Millisecond))
+			defer c.Close()
+			ctx := context.Background()
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each worker walks the key space from its own offset so
+				// the stream spreads across shards without coordination.
+				i := int(next.Add(1)) * 7919
+				for pb.Next() {
+					if _, err := c.Submit(ctx, 0, quicksand.NewOp("add", keys[i%len(keys)], 1)); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkLiveShardedBatch is the scatter-gather path: one mixed-key
+// batch per iteration, fanned out across shards on parallel goroutines
+// by the live transport's Scatterer.
+func BenchmarkLiveShardedBatch(b *testing.B) {
+	const batchSize = 256
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := quicksand.New[int64](sumApp{}, []quicksand.Rule[int64]{admitAll()},
+				quicksand.WithShards(shards),
+				quicksand.WithGossipEvery(time.Millisecond))
+			defer c.Close()
+			ctx := context.Background()
+			batch := make([]quicksand.Op, batchSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = quicksand.NewOp("add", fmt.Sprintf("k%03d", j), 1)
+				}
+				if _, err := c.SubmitBatch(ctx, 0, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
 
 // BenchmarkLiveSubmitBatch measures bulk ingest through SubmitBatch —
 // the throughput path, amortizing the blocking machinery over 100 ops.

@@ -31,15 +31,17 @@
 //
 // The paper's main contribution — the ACID 2.0 replication engine — is
 // exported directly from this package: build a Cluster with New and
-// functional options (WithReplicas, WithSim, WithGossipEvery, ...),
-// submit typed Ops synchronously with Submit(ctx, ...) or in bulk with
-// SubmitBatch, and pick risk per operation with WithPolicy. The Transport
-// seam runs the same cluster code on the deterministic simulator
-// (SimTransport) for experiments or on real goroutines (LiveTransport)
-// for wall-clock benchmarks. See examples/quickstart and
-// examples/banking for end-to-end use.
+// functional options (WithReplicas, WithShards, WithSim,
+// WithGossipEvery, ...), submit typed Ops synchronously with
+// Submit(ctx, ...) or in bulk with SubmitBatch, and pick risk per
+// operation with WithPolicy. WithShards partitions the key space across
+// independent replica groups — §6's scale-out move — while the
+// Transport seam runs the same cluster code on the deterministic
+// simulator (SimTransport) for experiments or on real goroutines
+// (LiveTransport) for wall-clock benchmarks. See examples/quickstart
+// and examples/banking for end-to-end use.
 //
-// The derived evaluation lives in internal/experiment (16 experiments,
+// The derived evaluation lives in internal/experiment (18 experiments,
 // each pinned to a quoted claim); run it with cmd/quicksand-bench or
 // `go test -bench=.` at the module root. See DESIGN.md for the system
 // inventory and README.md for the public API tour.
