@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/uniq"
 	"time"
 )
@@ -53,6 +54,10 @@ type (
 	Option = core.Option
 	// SubmitOption configures one submit call.
 	SubmitOption = core.SubmitOption
+	// StoreStats counts a durable cluster's disk work: fsyncs completed,
+	// entries journaled, snapshots written, torn bytes truncated at
+	// recovery. Cluster.DurabilityStats aggregates it across replicas.
+	StoreStats = store.Stats
 )
 
 // The transport seam: the same cluster code runs on the deterministic
@@ -168,6 +173,29 @@ func WithFoldCheckpointEvery(n int) Option { return core.WithFoldCheckpointEvery
 // Init — the O(ledger) baseline, kept for differential testing and
 // benchmarking.
 func WithFullRefold() Option { return core.WithFullRefold() }
+
+// WithDurability gives every replica a disk-backed store under dir: an
+// append-only CRC-checked journal of its operations plus periodic
+// atomic snapshot files. Submits and gossip pushes are acknowledged
+// only once group-committed to disk, so everything accepted survives a
+// hard crash: Cluster.Kill drops a replica's entire RAM,
+// Cluster.Recover reloads it from disk and rejoins gossip, and New
+// itself cold-starts from whatever an earlier incarnation left in dir.
+func WithDurability(dir string) Option { return core.WithDurability(dir) }
+
+// WithFsyncEvery tunes WithDurability's group-commit fsync loop
+// (§3.2's city-bus economics): d > 0 holds each flush up to d so more
+// commits board it; 0 (default) flushes as soon as the disk is free,
+// coalescing arrivals; d < 0 pays one fsync per operation — the
+// car-per-driver baseline kept for measuring what group commit saves.
+func WithFsyncEvery(d time.Duration) Option { return core.WithFsyncEvery(d) }
+
+// WithSnapshotEvery sets how many journaled operations separate durable
+// snapshots (default 4096) — the ledger prefix serialized at a
+// fold-checkpoint boundary, which bounds recovery replay and lets
+// journal segments below both the snapshot and every gossip peer's
+// acknowledgement be deleted. 0 disables snapshots.
+func WithSnapshotEvery(n int) Option { return core.WithSnapshotEvery(n) }
 
 // WithPolicy routes one submit with p instead of the cluster's default
 // risk policy — the per-operation "stomach for risk" dial of §5.5.

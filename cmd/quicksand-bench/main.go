@@ -11,6 +11,9 @@
 //	quicksand-bench -live        # wall-clock engine throughput on real goroutines
 //	quicksand-bench -shards 8    # shard count: the -live scaling curve's top end,
 //	                             # and the sharded arm of E14 on the simulator
+//	quicksand-bench -live -durable DIR
+//	                             # add the durability arm: ops/sec, fsyncs, and
+//	                             # group-commit amortization against real files in DIR
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		live    = flag.Bool("live", false, "run only the live-transport throughput measurement (real goroutines, wall clock)")
 		liveDur = flag.Duration("liveduration", 500*time.Millisecond, "sampling window per row of the -live table")
 		shards  = flag.Int("shards", 4, "max shard count for the -live scaling curve, and the sharded arm of E14 in sim mode")
+		durable = flag.String("durable", "", "with -live: directory for per-replica disk stores; adds the durability/group-commit table")
 	)
 	flag.Parse()
 
@@ -37,6 +41,9 @@ func main() {
 
 	if *live {
 		runLiveBench(*liveDur, *shards)
+		if *durable != "" {
+			runLiveDurableBench(*liveDur, *durable)
+		}
 		return
 	}
 

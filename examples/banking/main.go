@@ -186,6 +186,47 @@ func run(out io.Writer) {
 	fmt.Fprintf(out, "  r1 tries the second $70 check: accepted=%v (%s)\n", resB.Accepted, resB.Reason)
 	fmt.Fprintf(out, "no apologies under coordination: %d — you paid latency instead (§5.8)\n",
 		b2.Apologies.Total())
+
+	// Act three: durability. The same bank with a disk under it — a
+	// replica is hard-killed (its RAM and fold state destroyed, not
+	// merely silenced), recovered from its journal and snapshot alone,
+	// and the money is still there.
+	fmt.Fprintln(out, "\nfinally, §3.2's log-as-checkpoint: the bank on disk, killed and recovered:")
+	dir, err := os.MkdirTemp("", "quicksand-banking-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	s3 := quicksand.NewSim(23)
+	b3 := quicksand.New[*accounts](bankApp{}, []quicksand.Rule[*accounts]{noOverdraft()},
+		quicksand.WithSim(s3), quicksand.WithReplicas(2), quicksand.WithDurability(dir))
+	defer b3.Close()
+	if _, err := b3.Submit(ctx, 0, quicksand.NewOp(kindDeposit, "acct-011", 100_00)); err != nil {
+		panic(err)
+	}
+	converge(s3, b3)
+	fmt.Fprintf(out, "  $100 deposited and durable at both replicas (r1 holds %d ops)\n",
+		b3.Replica(1).OpCount())
+
+	b3.Kill(1)
+	fmt.Fprintf(out, "  r1 is killed: RAM gone, it now derives $%.2f from %d ops\n",
+		balance(b3, 1, "acct-011"), b3.Replica(1).OpCount())
+
+	// Business continues on the survivor while r1 is dead.
+	if _, err := b3.Submit(ctx, 0, check("acct-011", 301, 40_00)); err != nil {
+		panic(err)
+	}
+	s3.Run()
+	fmt.Fprintf(out, "  meanwhile r0 clears a $40 check on its own: r0 sees $%.2f\n", balance(b3, 0, "acct-011"))
+
+	if err := b3.Recover(ctx, 1); err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(out, "  r1 recovers from disk alone: %d ops replayed, $%.2f rebuilt\n",
+		b3.Replica(1).OpCount(), balance(b3, 1, "acct-011"))
+	converge(s3, b3)
+	fmt.Fprintf(out, "  gossip catches r1 up on the missed check: r0 $%.2f, r1 $%.2f — the crash changed nothing\n",
+		balance(b3, 0, "acct-011"), balance(b3, 1, "acct-011"))
 }
 
 func main() { run(os.Stdout) }

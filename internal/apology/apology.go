@@ -86,6 +86,15 @@ func (l *Ledger) Len() int {
 	return len(l.entries)
 }
 
+// Reset wipes the ledger. A ledger is per-replica RAM: a hard crash of
+// its replica destroys it, and recovery starts a fresh one.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	l.entries = nil
+	l.counts = [3]int{}
+	l.mu.Unlock()
+}
+
 // Apology is a discovered business-rule violation that someone must now
 // smooth over — "every business includes apologies" (§5.7).
 type Apology struct {

@@ -170,7 +170,7 @@ func TestStatementsImmutableAndLateOpsRollForward(t *testing.T) {
 
 	// A check dated before the March cutoff arrives late, via replica 1.
 	lateAt := march.CutoffAt - 1
-	b.C.SubmitOp(1, oplogEntry("acct", 99, 10_00, lateAt), policy.AlwaysAsync(), func(core.Result) {})
+	b.C.SubmitAsync(1, oplogEntry("acct", 99, 10_00, lateAt), func(core.Result) {}, core.WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	converge(t, s, b)
 

@@ -54,7 +54,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +67,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Op is one typed business operation offered to a cluster. The zero Op is
@@ -146,8 +149,11 @@ type config struct {
 	defPolicy   policy.Policy
 	transport   Transport
 	s           *sim.Sim
-	foldEvery   int  // folded entries between periodic fold checkpoints
-	fullRefold  bool // disable checkpointed folds; replay from genesis
+	foldEvery   int           // folded entries between periodic fold checkpoints
+	fullRefold  bool          // disable checkpointed folds; replay from genesis
+	durableDir  string        // root of per-replica durable stores ("" = in-memory only)
+	fsyncEvery  time.Duration // >0 timer group commit, 0 immediate coalescing, <0 fsync per op
+	snapEvery   int           // journaled entries between durable snapshots
 }
 
 // Option configures a Cluster at construction.
@@ -210,6 +216,37 @@ func WithFoldCheckpointEvery(n int) Option { return func(c *config) { c.foldEver
 // derivation — kept as the differential-testing oracle and benchmark
 // baseline; production clusters should not need it.
 func WithFullRefold() Option { return func(c *config) { c.fullRefold = true } }
+
+// WithDurability gives every replica a disk-backed store rooted under
+// dir: an append-only CRC-checked journal of its operations plus
+// periodic snapshot files (internal/store). Each replica owns
+// dir/<node-id>; a submit or gossip push is acknowledged only after its
+// entries are fsynced (group-committed), so anything a caller or a peer
+// saw accepted survives a hard crash. With durability on, Kill/Recover
+// model real process death: Kill drops all of a replica's RAM, Recover
+// reloads snapshot + journal from disk and rejoins gossip to catch up —
+// and New itself cold-starts from whatever an earlier incarnation left
+// in dir. New panics if the stores cannot be opened (a configuration
+// error should be loud, like WithLatency on the wrong transport).
+func WithDurability(dir string) Option { return func(c *config) { c.durableDir = dir } }
+
+// WithFsyncEvery tunes the group-commit economics of WithDurability's
+// fsync loop (§3.2's city bus): d > 0 holds each flush for up to d so
+// more commits board it; 0 (the default) flushes as soon as the disk is
+// free, coalescing everything that arrived during the previous flush;
+// d < 0 is the car-per-driver baseline — one fsync per operation — kept
+// for measuring what group commit saves.
+func WithFsyncEvery(d time.Duration) Option { return func(c *config) { c.fsyncEvery = d } }
+
+// WithSnapshotEvery sets how many journaled operations separate durable
+// snapshots (default 4096). A snapshot is the ledger prefix serialized
+// in canonical fold order at a fold-checkpoint boundary — the "log as
+// checkpoint" of §3.2 — and it bounds both recovery replay time and
+// journal disk growth: segments below the newest snapshot AND below
+// every gossip peer's acknowledgement are deleted. 0 disables snapshots
+// (the journal is then never compacted); values below 0 fall back to
+// the default.
+func WithSnapshotEvery(n int) Option { return func(c *config) { c.snapEvery = n } }
 
 // Result reports the outcome of one submit.
 type Result struct {
@@ -369,6 +406,7 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 		callTimeout: 100 * time.Millisecond,
 		defPolicy:   policy.AlwaysAsync(),
 		foldEvery:   1024,
+		snapEvery:   4096,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -381,6 +419,9 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	}
 	if cfg.foldEvery < 0 {
 		cfg.foldEvery = 1024
+	}
+	if cfg.snapEvery < 0 {
+		cfg.snapEvery = 4096
 	}
 	tr := cfg.transport
 	if tr == nil {
@@ -445,6 +486,76 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 		}
 	}
 	return c
+}
+
+// storeOptions maps the cluster configuration onto internal/store
+// knobs. On the deterministic simulator every disk operation runs
+// inline on the calling goroutine — group-commit economics are a
+// wall-clock phenomenon the sim cannot observe, and background flusher
+// goroutines would break bit-for-bit reproducibility.
+func (c *Cluster[S]) storeOptions() store.Options {
+	opt := store.Options{}
+	switch {
+	case c.cfg.fsyncEvery > 0:
+		opt.Mode = store.ModeTimer
+		opt.Interval = c.cfg.fsyncEvery
+	case c.cfg.fsyncEvery < 0:
+		opt.Mode = store.ModeEveryOp
+	}
+	_, opt.Inline = c.tr.(*SimTransport)
+	return opt
+}
+
+// storeDir names the durable directory of the replica with the given
+// node id (shard-qualified ids flatten their path separator).
+func (c *Cluster[S]) storeDir(id string) string {
+	return filepath.Join(c.cfg.durableDir, strings.ReplaceAll(id, "/", "_"))
+}
+
+// Kill hard-crashes replica i of shard 0 (the whole cluster when
+// unsharded): the process dies, taking every bit of in-memory state —
+// operation set, fold checkpoints, Lamport clock, gossip journal,
+// ledger — and any disk write that was not yet group-committed. This is
+// a stronger failure than Transport.SetUp(id, false), which merely
+// silences a node while its RAM survives. A killed durable replica
+// comes back with Recover; a killed non-durable replica is gone for
+// good (its unique entries survive only if gossip already spread them).
+func (c *Cluster[S]) Kill(i int) { c.groups[0].reps[i].Kill() }
+
+// ShardKill hard-crashes replica i of the given shard. Shards share no
+// state, so a kill touches one group only.
+func (c *Cluster[S]) ShardKill(shard, i int) { c.groups[shard].reps[i].Kill() }
+
+// Recover restarts killed replica i of shard 0 from its durable store:
+// snapshot load, journal replay, torn-tail truncation, then the node
+// rejoins gossip to catch up on what it missed while dead. See
+// Replica.Recover.
+func (c *Cluster[S]) Recover(ctx context.Context, i int) error {
+	return c.groups[0].reps[i].Recover(ctx)
+}
+
+// ShardRecover restarts killed replica i of the given shard from disk,
+// without touching any other shard's group.
+func (c *Cluster[S]) ShardRecover(ctx context.Context, shard, i int) error {
+	return c.groups[shard].reps[i].Recover(ctx)
+}
+
+// DurabilityStats sums the disk-work counters of every replica's live
+// store: fsyncs completed, entries journaled, snapshots written, torn
+// bytes truncated at recovery. All zeros without WithDurability.
+func (c *Cluster[S]) DurabilityStats() store.Stats {
+	var out store.Stats
+	for _, g := range c.groups {
+		for _, r := range g.reps {
+			if st, ok := r.StoreStats(); ok {
+				out.Fsyncs += st.Fsyncs
+				out.Appended += st.Appended
+				out.Snapshots += st.Snapshots
+				out.TornBytes += st.TornBytes
+			}
+		}
+	}
+	return out
 }
 
 // Transport returns the transport the cluster runs on.
@@ -653,17 +764,11 @@ func (c *Cluster[S]) SubmitAsync(replica int, op Op, done func(Result), opts ...
 	c.dispatch(c.route(replica, op), op, c.submitConfig(opts), done)
 }
 
-// SubmitOp offers a caller-built operation at replica i.
-//
-// Deprecated: SubmitOp is the pre-context callback API. Use Submit (or
-// SubmitAsync with WithPolicy inside simulator callbacks) instead.
-func (c *Cluster[S]) SubmitOp(i int, op Op, pol policy.Policy, done func(Result)) {
-	c.SubmitAsync(i, op, done, WithPolicy(pol))
-}
-
 // dispatch routes one operation at rep: fill in ingress identity, check
 // idempotency, then take the guess path or the coordinated path as the
-// policy decides. done fires exactly once.
+// policy decides. done fires exactly once — on a durable replica, only
+// after the operation's journal record is fsynced (an accepted result
+// is a durable result).
 func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func(Result)) {
 	if op.ID == "" {
 		op.ID = rep.gen.Next()
@@ -685,30 +790,53 @@ func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func
 		op.Lam = rep.lamport + 1
 	}
 	seen := rep.ops.Contains(op.ID)
+	var dupEnd int
+	st := rep.store
+	if seen && st != nil {
+		dupEnd = st.End()
+	}
 	rep.mu.Unlock()
 	g := rep.g
 	if seen {
-		// A retry of work this replica already did: idempotent accept.
-		c.M.Accepted.Inc()
-		g.M.Accepted.Inc()
-		done(Result{Accepted: true, Op: op, Decision: policy.Async})
+		// A retry of work this replica already did: idempotent accept —
+		// but "accepted" still means "durable", and the original's
+		// journal record may be aboard a flush that has not landed yet,
+		// so the retry waits for the commit covering it too.
+		ackDup := func(ok bool) {
+			if !ok {
+				rep.failFast()
+				c.M.Declined.Inc()
+				g.M.Declined.Inc()
+				done(Result{Op: op, Reason: "replica crashed before the write was durable"})
+				return
+			}
+			c.M.Accepted.Inc()
+			g.M.Accepted.Inc()
+			done(Result{Accepted: true, Op: op, Decision: policy.Async})
+		}
+		if st == nil {
+			ackDup(true)
+			return
+		}
+		st.Commit(dupEnd, ackDup)
 		return
 	}
 	start := c.tr.Now()
 	switch sc.pol.Decide(op) {
 	case policy.Async:
-		res := rep.submitLocal(op)
-		res.Latency = c.tr.Now().Sub(start)
-		if res.Accepted {
-			c.M.Accepted.Inc()
-			g.M.Accepted.Inc()
-			c.M.AsyncLat.AddDur(res.Latency)
-			g.M.AsyncLat.AddDur(res.Latency)
-		} else {
-			c.M.Declined.Inc()
-			g.M.Declined.Inc()
-		}
-		done(res)
+		rep.submitLocal(op, func(res Result) {
+			res.Latency = c.tr.Now().Sub(start)
+			if res.Accepted {
+				c.M.Accepted.Inc()
+				g.M.Accepted.Inc()
+				c.M.AsyncLat.AddDur(res.Latency)
+				g.M.AsyncLat.AddDur(res.Latency)
+			} else {
+				c.M.Declined.Inc()
+				g.M.Declined.Inc()
+			}
+			done(res)
+		})
 	case policy.Sync:
 		rep.submitSync(op, func(res Result) {
 			res.Latency = c.tr.Now().Sub(start)
@@ -763,9 +891,19 @@ func (c *Cluster[S]) StopGossip() {
 	c.stopGossip = nil
 }
 
-// Close releases the cluster's background resources (today: gossip started
-// by WithGossipEvery). Replicas and their state remain readable.
-func (c *Cluster[S]) Close() { c.StopGossip() }
+// Close releases the cluster's background resources: gossip started by
+// WithGossipEvery, and every replica's durable store — flushed,
+// fsynced, and closed gracefully, so a later New with the same
+// WithDurability directory cold-starts from exactly this state.
+// Replicas and their in-memory state remain readable.
+func (c *Cluster[S]) Close() {
+	c.StopGossip()
+	for _, g := range c.groups {
+		for _, r := range g.reps {
+			r.closeStore()
+		}
+	}
+}
 
 // Converged reports whether every shard has converged: within each
 // group, every replica holds the same operation set. It compares sets in

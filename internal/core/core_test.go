@@ -415,15 +415,15 @@ func TestStartGossipPeriodic(t *testing.T) {
 	}
 }
 
-func TestSubmitOpIdempotentRetry(t *testing.T) {
+func TestSubmitAsyncIdempotentRetry(t *testing.T) {
 	s, c := newTestCluster(20, 2)
 	op := oplog.Entry{ID: "check-42", Kind: "credit", Key: "acct", Arg: 10}
 	var first, second Result
-	c.SubmitOp(0, op, policy.AlwaysAsync(), func(r Result) { first = r })
+	c.SubmitAsync(0, op, func(r Result) { first = r }, WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	// The same uniquified op presented again (a client retry) must be
 	// accepted without double-applying.
-	c.SubmitOp(0, op, policy.AlwaysAsync(), func(r Result) { second = r })
+	c.SubmitAsync(0, op, func(r Result) { second = r }, WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	if !first.Accepted || !second.Accepted {
 		t.Fatalf("accepted = %v/%v", first.Accepted, second.Accepted)
@@ -496,7 +496,7 @@ func TestSyncDeclinedByRemoteAdmit(t *testing.T) {
 func TestDerivedWorkDedupedByUniquifier(t *testing.T) {
 	s, c := newTestCluster(30, 2)
 	po := oplog.Entry{ID: "po-123", Kind: "credit", Key: "orders", Arg: 1}
-	c.SubmitOp(0, po, policy.AlwaysAsync(), func(Result) {})
+	c.SubmitAsync(0, po, func(Result) {}, WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	c.GossipRound()
 	s.Run()
@@ -506,12 +506,12 @@ func TestDerivedWorkDedupedByUniquifier(t *testing.T) {
 	// not freshly generated — so the two submissions are one operation.
 	shipID := "po-123/shipment"
 	for rep := 0; rep < 2; rep++ {
-		c.SubmitOp(rep, oplog.Entry{ID: uniq.ID(shipID), Kind: "credit", Key: "shipments", Arg: 1},
-			policy.AlwaysAsync(), func(r Result) {
+		c.SubmitAsync(rep, oplog.Entry{ID: uniq.ID(shipID), Kind: "credit", Key: "shipments", Arg: 1},
+			func(r Result) {
 				if !r.Accepted {
 					t.Errorf("replica %d shipment refused", rep)
 				}
-			})
+			}, WithPolicy(policy.AlwaysAsync()))
 		s.Run()
 	}
 	for i := 0; i < 3 && !c.Converged(); i++ {
@@ -599,14 +599,14 @@ func TestRewindOnBehindWatermarkMerge(t *testing.T) {
 	s := sim.New(2)
 	c := New[int64](hashApp{}, nil, WithSim(s), WithReplicas(1))
 	rep := c.Replica(0)
-	c.SubmitOp(0, oplog.Entry{ID: "late", Kind: "op", Arg: 7, Lam: 10}, policy.AlwaysAsync(), nil)
+	c.SubmitAsync(0, oplog.Entry{ID: "late", Kind: "op", Arg: 7, Lam: 10}, nil, WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	if got, want := rep.State(), oracle(rep); got != want {
 		t.Fatalf("state = %d, oracle %d", got, want)
 	}
 	// Now an entry that sorts BEFORE the folded one arrives (gossip from a
 	// replica whose clock lagged).
-	c.SubmitOp(0, oplog.Entry{ID: "early", Kind: "op", Arg: 3, Lam: 1}, policy.AlwaysAsync(), nil)
+	c.SubmitAsync(0, oplog.Entry{ID: "early", Kind: "op", Arg: 3, Lam: 1}, nil, WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	if c.M.FoldRewinds.Value() == 0 {
 		t.Fatal("behind-watermark entry did not rewind the checkpoint")
@@ -628,7 +628,7 @@ func TestPeriodicCheckpointsBoundReplay(t *testing.T) {
 	c := New[int64](hashApp{}, nil, WithSim(s), WithReplicas(1), WithFoldCheckpointEvery(10))
 	rep := c.Replica(0)
 	for i := 0; i < n; i++ {
-		c.SubmitOp(0, oplog.Entry{ID: uniq.ID(fmt.Sprintf("op-%03d", i)), Kind: "op", Arg: 1, Lam: uint64(10 + 2*i)}, policy.AlwaysAsync(), nil)
+		c.SubmitAsync(0, oplog.Entry{ID: uniq.ID(fmt.Sprintf("op-%03d", i)), Kind: "op", Arg: 1, Lam: uint64(10 + 2*i)}, nil, WithPolicy(policy.AlwaysAsync()))
 		s.Run()
 		rep.State() // fold as we go, taking periodic snapshots
 	}
@@ -638,7 +638,7 @@ func TestPeriodicCheckpointsBoundReplay(t *testing.T) {
 	before := c.M.FoldSteps.Value()
 	// Land an entry between the last two ops: behind the watermark, but
 	// far after the second-newest snapshot.
-	c.SubmitOp(0, oplog.Entry{ID: "late", Kind: "op", Arg: 5, Lam: uint64(10 + 2*(n-1) - 1)}, policy.AlwaysAsync(), nil)
+	c.SubmitAsync(0, oplog.Entry{ID: "late", Kind: "op", Arg: 5, Lam: uint64(10 + 2*(n-1) - 1)}, nil, WithPolicy(policy.AlwaysAsync()))
 	s.Run()
 	if got, want := rep.State(), oracle(rep); got != want {
 		t.Fatalf("state = %d, oracle %d", got, want)
@@ -713,7 +713,7 @@ func TestPropIncrementalFoldMatchesOracle(t *testing.T) {
 				Arg:  int64(r.Intn(9) + 1),
 				Lam:  uint64(r.Intn(6) + 1), // adversarial: no ingress stamping
 			}
-			c.SubmitOp(r.Intn(3), op, policy.AlwaysAsync(), nil)
+			c.SubmitAsync(r.Intn(3), op, nil, WithPolicy(policy.AlwaysAsync()))
 			if r.Intn(3) == 0 {
 				c.GossipRound()
 			}
@@ -893,7 +893,9 @@ func TestDuplicateLocalSubmitRecordsNoSecondGuess(t *testing.T) {
 	rep := c.Replica(0)
 	op := oplog.Entry{ID: "check-7", Kind: "credit", Key: "a", Arg: 1, Lam: 1}
 	for i := 0; i < 2; i++ {
-		if res := rep.submitLocal(op); !res.Accepted {
+		var res Result
+		rep.submitLocal(op, func(r Result) { res = r })
+		if !res.Accepted {
 			t.Fatalf("submitLocal #%d declined", i)
 		}
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/apology"
 	"repro/internal/oplog"
 	"repro/internal/policy"
+	"repro/internal/store"
 	"repro/internal/uniq"
 )
 
@@ -53,6 +56,14 @@ type Replica[S any] struct {
 	pushing map[string]bool // peers with a push in flight, to keep rounds from resending the suffix
 	lamport uint64          // highest Lamport timestamp seen
 
+	// The durable tier (nil without WithDurability). Every absorbed entry
+	// is staged to the store's disk journal under mu — in the same order
+	// as the in-memory journal, so the two share absolute positions — and
+	// the absorb is acknowledged only once the store group-commits it.
+	// sinceSnap counts journaled entries toward the next durable snapshot.
+	store     *store.Store
+	sinceSnap int
+
 	// The fold checkpoint: state is the fold of every entry at or before
 	// stateMark (stateN of them); stateDirty records that entries beyond
 	// the watermark are waiting to be folded in. snaps holds periodic
@@ -93,11 +104,47 @@ func newReplica[S any](c *Cluster[S], g *shardGroup[S], id string) *Replica[S] {
 		pushing: make(map[string]bool),
 		state:   c.app.Init(),
 	}
+	if c.cfg.durableDir != "" {
+		// Cold start: open (or create) the durable store and replay
+		// whatever an earlier incarnation left behind. Failing to open the
+		// durability the caller asked for must not silently degrade to
+		// RAM-only.
+		st, rec, err := store.Open(c.storeDir(id), c.storeOptions())
+		if err != nil {
+			panic(fmt.Sprintf("quicksand: WithDurability(%s): %v", c.cfg.durableDir, err))
+		}
+		r.seedFromDisk(st, rec)
+	}
 	r.node = c.tr.Node(id, c.cfg.callTimeout)
 	r.node.Handle("push", r.handlePush)
 	r.node.Handle("admit", r.handleAdmit)
 	r.node.Handle("apply", r.handleApply)
 	return r
+}
+
+// seedFromDisk rebuilds the replica's in-memory world from a store
+// recovery: operation set and Lamport clock from snapshot ∪ journal,
+// gossip journal re-seeded with the retained suffix (positions [Base,
+// End) — the entries some gossip peer may not have acknowledged yet;
+// peers that already hold them dedupe the re-push), fold checkpoint
+// rebuilt lazily by the next State call. Runs before the replica is
+// published (construction or under mu during Recover).
+func (r *Replica[S]) seedFromDisk(st *store.Store, rec store.Recovery) {
+	r.store = st
+	add := func(e oplog.Entry) {
+		if r.ops.Add(e) && e.Lam > r.lamport {
+			r.lamport = e.Lam
+		}
+	}
+	for _, e := range rec.SnapshotEntries {
+		add(e)
+	}
+	r.journal = oplog.JournalAt(rec.Base)
+	for _, e := range rec.JournalEntries {
+		add(e)
+		r.journal.Append(e)
+	}
+	r.stateDirty = r.ops.Len() > 0
 }
 
 // ID returns the replica's name — its transport node id (r0, r1, ... on
@@ -255,15 +302,15 @@ func (r *Replica[S]) rewindLocked(m oplog.Watermark) {
 	r.g.M.FoldRewinds.Inc()
 }
 
-// absorbLocked unions entries into the set and returns the ones that were
-// new. from names the peer the entries arrived from ("" for local
-// submits): when the new entries land contiguously at the journal tail,
-// the sender's acknowledgement mark advances over them — it evidently
-// holds them already, so pushing them back would only be deduplicated
-// echo. The caller holds r.mu.
-func (r *Replica[S]) absorbLocked(entries []oplog.Entry, from string) []oplog.Entry {
+// absorbLocked unions entries into the set, returning the ones that
+// were new plus the durable-store position covering them (0 when the
+// replica has no store). from names the peer the entries arrived from
+// ("" for local submits): when the new entries land contiguously at the
+// journal tail, the sender's acknowledgement mark advances over them —
+// it evidently holds them already, so pushing them back would only be
+// deduplicated echo. The caller holds r.mu.
+func (r *Replica[S]) absorbLocked(entries []oplog.Entry, from string) (added []oplog.Entry, end int) {
 	contiguous := from != "" && r.sentTo[from] == r.journal.Len()
-	var added []oplog.Entry
 	for _, e := range entries {
 		if r.ops.Add(e) {
 			if e.Lam > r.lamport {
@@ -286,29 +333,119 @@ func (r *Replica[S]) absorbLocked(entries []oplog.Entry, from string) []oplog.En
 	}
 	if len(added) > 0 {
 		r.stateDirty = true
+		if r.store != nil {
+			// Stage to the disk journal in the same order, under the same
+			// lock, as the in-memory journal: the two streams share
+			// absolute positions, which is what lets peer acknowledgements
+			// (in-memory positions) gate disk compaction.
+			end = r.store.Stage(added)
+			r.sinceSnap += len(added)
+			if len(r.gossipPeers) == 0 {
+				// No peers will ever need a re-push: the ack watermark is
+				// vacuously the journal tail, so only snapshots gate
+				// compaction.
+				r.store.AckTo(end)
+			}
+		}
 		if contiguous {
 			r.sentTo[from] = r.journal.Len()
 			r.truncateJournalLocked()
 		}
 	}
-	return added
+	return added, end
 }
 
-// absorb unions entries into the set, updates the ledger, and sweeps for
-// newly exposed rule violations. from names the sending peer ("" for
-// local work). It returns how many entries were new.
-func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string) int {
+// maybeSnapshotLocked decides whether enough entries were journaled
+// since the last durable snapshot; if so it brings the fold checkpoint
+// current (snapshots are cut at fold-checkpoint boundaries), captures
+// the ledger in canonical order, and returns a closure that hands the
+// capture to the store — to be run after mu is released, since the
+// store writes it on its own schedule. The caller holds r.mu.
+func (r *Replica[S]) maybeSnapshotLocked() func() {
+	if r.store == nil || r.c.cfg.snapEvery <= 0 || r.sinceSnap < r.c.cfg.snapEvery {
+		return nil
+	}
+	r.sinceSnap = 0
+	r.foldLocked()
+	entries := r.ops.Entries()
+	pos := r.store.End()
+	mark := r.stateMark
+	st := r.store
+	return func() { st.WriteSnapshot(entries, pos, mark) }
+}
+
+// absorb unions entries into the set and — once they are durable, on a
+// replica that owns a store — updates the ledger, sweeps for newly
+// exposed rule violations, and fires then(added, ok). A false ok means
+// the entries never became durable (the replica crashed mid-write) and
+// nothing was recorded: callers must not acknowledge the work. from
+// names the sending peer ("" for local work).
+func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string, then func(added int, ok bool)) {
 	r.mu.Lock()
-	added := r.absorbLocked(entries, from)
+	if r.node.Crashed() {
+		// A dead process absorbs nothing. The transports already drop
+		// deliveries to crashed nodes; this closes the in-process race
+		// where Kill wipes state between a liveness check and the absorb.
+		r.mu.Unlock()
+		if then != nil {
+			then(0, false)
+		}
+		return
+	}
+	added, end := r.absorbLocked(entries, from)
+	snap := r.maybeSnapshotLocked()
+	st := r.store
 	r.mu.Unlock()
-	now := r.c.tr.Now()
-	for _, e := range added {
-		r.Ledger.Record(now, apology.Memory, r.id, how+" "+e.Kind+" "+e.Key, e.ID)
+	if snap != nil {
+		snap()
 	}
-	if len(added) > 0 {
-		r.sweepViolations()
+	finish := func(ok bool) {
+		if ok {
+			now := r.c.tr.Now()
+			for _, e := range added {
+				r.Ledger.Record(now, apology.Memory, r.id, how+" "+e.Kind+" "+e.Key, e.ID)
+			}
+			if len(added) > 0 {
+				r.sweepViolations()
+			}
+		} else {
+			// The entries were admitted to RAM but will never be durable:
+			// a replica that kept serving them would gossip guesses its
+			// own disk cannot back. Fail fast (§2.2) — the crash wipes the
+			// phantom entries along with everything else.
+			r.failFast()
+		}
+		if then != nil {
+			then(len(added), ok)
+		}
 	}
-	return len(added)
+	if st == nil || len(added) == 0 {
+		finish(true)
+		return
+	}
+	st.Commit(end, finish)
+}
+
+// failFast hard-crashes the replica after its store reported a commit
+// failure while the process is still alive — a sticky disk error, not
+// an explicit Kill (Kill detaches the store first, making this a
+// no-op). A durable replica that cannot persist must stop answering
+// rather than keep in-memory entries no flush will ever cover. On the
+// live transport the crash is taken on a fresh goroutine: the failure
+// callback runs on the store's own flusher, which Kill would otherwise
+// deadlock waiting for.
+func (r *Replica[S]) failFast() {
+	r.mu.Lock()
+	st := r.store
+	r.mu.Unlock()
+	if st == nil {
+		return
+	}
+	if st.InlineMode() {
+		r.Kill()
+		return
+	}
+	go r.Kill()
 }
 
 // sweepViolations evaluates every rule's Violated check against the
@@ -334,9 +471,16 @@ func (r *Replica[S]) sweepViolations() {
 }
 
 // submitLocal is the async path: admit against the local guess, record,
-// move on. The guess is remembered in the ledger.
-func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
+// move on. The guess is remembered in the ledger. emit fires exactly
+// once — on a durable replica only after the op's journal record is
+// group-committed, so an accepted guess survives a hard crash.
+func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 	r.mu.Lock()
+	if r.node.Crashed() {
+		r.mu.Unlock()
+		emit(Result{Op: op, Reason: "replica down"})
+		return
+	}
 	if r.c.hasAdmit {
 		// Deriving state is the expensive part of admission; rule-free
 		// clusters skip it and ingest in O(1).
@@ -344,22 +488,64 @@ func (r *Replica[S]) submitLocal(op oplog.Entry) Result {
 		for _, rule := range r.c.rules {
 			if rule.Admit != nil && !rule.Admit(state, op) {
 				r.mu.Unlock()
-				return Result{Op: op, Reason: "declined by rule " + rule.Name}
+				emit(Result{Op: op, Reason: "declined by rule " + rule.Name})
+				return
 			}
 		}
 	}
-	added := r.absorbLocked([]oplog.Entry{op}, "")
+	added, end := r.absorbLocked([]oplog.Entry{op}, "")
+	snap := r.maybeSnapshotLocked()
+	st := r.store
+	if len(added) == 0 && st != nil {
+		// A duplicate's original entry may still be aboard an unlanded
+		// flush; accepting the retry before that flush covers it would
+		// promise durability the disk does not yet hold.
+		end = st.End()
+	}
 	r.mu.Unlock()
-	if len(added) > 0 {
-		// Only a newly recorded op is a fresh guess; a duplicate (a retry
-		// that raced past dispatch's idempotency check, or an op gossip
-		// already delivered) was guessed when it was first recorded.
+	if snap != nil {
+		snap()
+	}
+	if len(added) == 0 {
+		// A duplicate: a retry that raced past dispatch's idempotency
+		// check, or an op gossip already delivered. Accept it once the
+		// first recording is durable.
+		ack := func(ok bool) {
+			if !ok {
+				r.failFast()
+				emit(Result{Op: op, Reason: "replica crashed before the write was durable"})
+				return
+			}
+			emit(Result{Accepted: true, Op: op, Decision: policy.Async})
+		}
+		if st == nil {
+			ack(true)
+			return
+		}
+		st.Commit(end, ack)
+		return
+	}
+	finish := func(ok bool) {
+		if !ok {
+			// The replica crashed — or its disk stopped honouring the
+			// durability contract — before the write landed: the guess
+			// dies with the replica (failFast), and the caller must not
+			// be told otherwise.
+			r.failFast()
+			emit(Result{Op: op, Reason: "replica crashed before the write was durable"})
+			return
+		}
 		now := r.c.tr.Now()
 		r.Ledger.Record(now, apology.Memory, r.id, "local "+op.Kind+" "+op.Key, op.ID)
 		r.Ledger.Record(now, apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
 		r.sweepViolations()
+		emit(Result{Accepted: true, Op: op, Decision: policy.Async})
 	}
-	return Result{Accepted: true, Op: op, Decision: policy.Async}
+	if st == nil {
+		finish(true)
+		return
+	}
+	st.Commit(end, finish)
 }
 
 // submitSync is the coordinated path of §5.8: ask every replica to admit
@@ -394,10 +580,16 @@ func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 				return
 			}
 		}
-		// All agreed: apply everywhere synchronously, then ack.
-		r.absorb([]oplog.Entry{op}, "sync", "")
-		r.node.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
-			done(Result{Accepted: true, Op: op, Decision: policy.Sync})
+		// All agreed: apply locally (durably, if a store is attached),
+		// then everywhere else, then ack.
+		r.absorb([]oplog.Entry{op}, "sync", "", func(_ int, ok bool) {
+			if !ok {
+				done(Result{Op: op, Reason: "replica crashed before the write was durable", Decision: policy.Sync})
+				return
+			}
+			r.node.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
+				done(Result{Accepted: true, Op: op, Decision: policy.Sync})
+			})
 		})
 	})
 }
@@ -418,6 +610,13 @@ func (r *Replica[S]) pushTo(peer string) {
 		return
 	}
 	from := r.sentTo[peer]
+	if base := r.journal.Base(); from < base {
+		// The peer's recorded acknowledgement predates this incarnation's
+		// journal (a recovered replica re-seeds its journal at the disk
+		// base and forgets per-peer acks). Re-pushing from the base is
+		// safe: the peer dedupes what it already holds.
+		from = base
+	}
 	entries := r.journal.Since(from)
 	end := r.journal.Len()
 	if len(entries) == 0 {
@@ -457,12 +656,22 @@ func (r *Replica[S]) truncateJournalLocked() {
 		}
 	}
 	r.journal.TruncateTo(min)
+	if r.store != nil {
+		// The same watermark unlocks disk compaction — but only jointly
+		// with the snapshot watermark; the store takes the min.
+		r.store.AckTo(min)
+	}
 }
 
 func (r *Replica[S]) handlePush(from string, req any, reply func(any)) {
 	p := req.(pushReq)
-	r.absorb(p.Entries, "gossip", from)
-	reply(pushAck{OK: true})
+	r.absorb(p.Entries, "gossip", from, func(_ int, ok bool) {
+		// Acknowledging entries that are not yet durable would let the
+		// peer truncate its journal while this replica could still lose
+		// them to a crash — the gap nobody could refill. OK=false keeps
+		// the peer's ack mark (and so its journal) where it is.
+		reply(pushAck{OK: ok})
+	})
 }
 
 func (r *Replica[S]) handleAdmit(from string, req any, reply func(any)) {
@@ -481,6 +690,102 @@ func (r *Replica[S]) handleAdmit(from string, req any, reply func(any)) {
 
 func (r *Replica[S]) handleApply(from string, req any, reply func(any)) {
 	a := req.(applyReq)
-	r.absorb([]oplog.Entry{a.Op}, "sync", from)
-	reply(pushAck{OK: true})
+	r.absorb([]oplog.Entry{a.Op}, "sync", from, func(_ int, ok bool) {
+		reply(pushAck{OK: ok})
+	})
+}
+
+// Kill hard-crashes the replica: the node goes silent on the transport
+// and every bit of in-memory state — operation set, gossip journal,
+// Lamport clock, fold checkpoints, ledger — is destroyed, along with
+// any disk write that was not yet group-committed (in-flight submits
+// resolve as declined). What survives is exactly the durable store's
+// contents; a replica without one loses everything it uniquely held.
+func (r *Replica[S]) Kill() {
+	r.c.tr.SetUp(r.id, false)
+	r.mu.Lock()
+	st := r.store
+	r.store = nil
+	r.sinceSnap = 0
+	r.ops = oplog.NewSet()
+	r.journal = oplog.Journal{}
+	r.sentTo = make(map[string]int)
+	r.pushing = make(map[string]bool)
+	r.lamport = 0
+	r.state = r.c.app.Init()
+	r.stateMark = oplog.Watermark{}
+	r.stateN = 0
+	r.stateShared = false
+	r.stateDirty = false
+	r.snaps = nil
+	r.mu.Unlock()
+	r.Ledger.Reset()
+	if st != nil {
+		st.Crash()
+	}
+}
+
+// Recover restarts a killed durable replica from disk alone: reopen the
+// store (which truncates any torn journal tail), load the newest
+// snapshot, replay the retained journal suffix, rebuild the operation
+// set and Lamport clock, and rejoin the transport. Gossip then fills in
+// everything admitted elsewhere while the replica was dead — peers held
+// their journals for it (an unacknowledged prefix is never truncated),
+// and it re-pushes its own retained suffix, which peers dedupe.
+func (r *Replica[S]) Recover(ctx context.Context) error {
+	if r.c.cfg.durableDir == "" {
+		return fmt.Errorf("quicksand: replica %s has no durable store to recover from (use WithDurability)", r.id)
+	}
+	if !r.node.Crashed() {
+		return fmt.Errorf("quicksand: replica %s is alive; Recover follows Kill", r.id)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st, rec, err := store.Open(r.c.storeDir(r.id), r.c.storeOptions())
+	if err != nil {
+		return fmt.Errorf("quicksand: recover %s: %w", r.id, err)
+	}
+	r.mu.Lock()
+	if r.store != nil {
+		// The replica still holds a store: either a concurrent Recover won
+		// the race, or the node was merely SetUp(false) — downed with its
+		// RAM intact — rather than killed. Either way this handle is
+		// surplus and the state must not be clobbered.
+		r.mu.Unlock()
+		st.Close()
+		return fmt.Errorf("quicksand: replica %s still holds its state (already recovered, or downed without Kill)", r.id)
+	}
+	r.seedFromDisk(st, rec)
+	n, snapN, journalN := r.ops.Len(), len(rec.SnapshotEntries), len(rec.JournalEntries)
+	r.mu.Unlock()
+	r.Ledger.Record(r.c.tr.Now(), apology.Memory, r.id,
+		fmt.Sprintf("recovered %d ops from disk (snapshot %d + journal %d)", n, snapN, journalN), "")
+	r.c.tr.SetUp(r.id, true)
+	return nil
+}
+
+// closeStore gracefully flushes and closes the durable store, leaving
+// the directory ready for a cold start.
+func (r *Replica[S]) closeStore() {
+	r.mu.Lock()
+	st := r.store
+	r.store = nil
+	r.mu.Unlock()
+	if st != nil {
+		st.Close()
+	}
+}
+
+// StoreStats reports the replica's durable-store disk counters; ok is
+// false when the replica has no live store (no WithDurability, or
+// currently killed).
+func (r *Replica[S]) StoreStats() (store.Stats, bool) {
+	r.mu.Lock()
+	st := r.store
+	r.mu.Unlock()
+	if st == nil {
+		return store.Stats{}, false
+	}
+	return st.Stats(), true
 }

@@ -57,8 +57,8 @@ func TestRegistryCompleteAndUnique(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 18 {
-		t.Fatalf("expected 18 experiments, have %d", len(seen))
+	if len(seen) != 19 {
+		t.Fatalf("expected 19 experiments, have %d", len(seen))
 	}
 	if _, err := ByID("nope"); err == nil {
 		t.Fatal("ByID accepted an unknown id")
@@ -400,6 +400,35 @@ func durMS(t *testing.T, s string) float64 {
 	default:
 		t.Fatalf("unparseable duration %q", s)
 		return 0
+	}
+}
+
+func TestE15RecoveryChangesNothing(t *testing.T) {
+	tab := run(t, "E15")
+	// Row 0 control, row 1 kill+recover. (E15 itself panics if the arms
+	// diverge in ops, apologies, or balance, so a returned table already
+	// proves the differential; these checks pin the shape.)
+	if got := cell(t, tab, 0, "arm"); got != "control" {
+		t.Fatalf("first row is %q, want control", got)
+	}
+	if got := cell(t, tab, 1, "arm"); got != "kill+recover" {
+		t.Fatalf("second row is %q, want kill+recover", got)
+	}
+	for r := 0; r < 2; r++ {
+		if cell(t, tab, r, "converged") != "true" {
+			t.Fatalf("row %d did not converge", r)
+		}
+	}
+	if num(t, cell(t, tab, 0, "ops")) != num(t, cell(t, tab, 1, "ops")) {
+		t.Fatal("arms accepted different op counts")
+	}
+	if num(t, cell(t, tab, 0, "apologies")) == 0 {
+		t.Fatal("workload produced no apologies; the differential is vacuous")
+	}
+	recovered := num(t, cell(t, tab, 1, "r1 ops at recovery"))
+	killed := num(t, cell(t, tab, 1, "r1 ops at kill"))
+	if recovered == 0 || recovered != killed {
+		t.Fatalf("disk recovery rebuilt %v ops, %v were durable at the kill", recovered, killed)
 	}
 }
 

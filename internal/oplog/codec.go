@@ -1,0 +1,138 @@
+package oplog
+
+// The binary entry codec: the wire-and-disk format for one Entry.
+// internal/store frames these encodings into CRC-checked, length-prefixed
+// journal records and snapshot files; keeping the codec here, next to the
+// Entry definition, means a field added to Entry fails loudly in the codec
+// tests instead of silently truncating what recovery can rebuild.
+//
+// The encoding is deliberately boring: four uvarint-length-prefixed
+// strings (ID, Kind, Key, Note) followed by three varints (Lam unsigned;
+// At and Arg zigzag-signed). No self-description, no versioning — the
+// store's segment and snapshot headers carry the format version, so the
+// per-entry bytes stay minimal.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/uniq"
+)
+
+// AppendEntry appends the binary encoding of e to buf and returns the
+// extended slice, in the style of strconv.AppendInt.
+func AppendEntry(buf []byte, e Entry) []byte {
+	buf = appendString(buf, string(e.ID))
+	buf = appendString(buf, e.Kind)
+	buf = appendString(buf, e.Key)
+	buf = appendString(buf, e.Note)
+	buf = binary.AppendUvarint(buf, e.Lam)
+	buf = binary.AppendVarint(buf, int64(e.At))
+	buf = binary.AppendVarint(buf, e.Arg)
+	return buf
+}
+
+// DecodeEntry decodes one entry occupying the whole of b — the framing
+// (record length, CRC) is the caller's job. Trailing bytes are an error:
+// a record that decodes but does not consume its payload is corrupt.
+func DecodeEntry(b []byte) (Entry, error) {
+	var e Entry
+	d := decoder{b: b}
+	e.ID = uniq.ID(d.string())
+	e.Kind = d.string()
+	e.Key = d.string()
+	e.Note = d.string()
+	e.Lam = d.uvarint()
+	e.At = sim.Time(d.varint())
+	e.Arg = d.varint()
+	if d.err != nil {
+		return Entry{}, d.err
+	}
+	if len(d.b) != 0 {
+		return Entry{}, fmt.Errorf("oplog: %d trailing bytes after entry", len(d.b))
+	}
+	return e, nil
+}
+
+// AppendWatermark appends the binary encoding of w to buf. Snapshot files
+// record the fold watermark they were taken at so recovery can rebuild
+// the fold checkpoint at exactly that position.
+func AppendWatermark(buf []byte, w Watermark) []byte {
+	buf = binary.AppendUvarint(buf, w.Lam)
+	buf = binary.AppendVarint(buf, int64(w.At))
+	buf = appendString(buf, string(w.ID))
+	return buf
+}
+
+// DecodeWatermark decodes a watermark from the front of b, returning the
+// remainder of the buffer.
+func DecodeWatermark(b []byte) (Watermark, []byte, error) {
+	var w Watermark
+	d := decoder{b: b}
+	w.Lam = d.uvarint()
+	w.At = sim.Time(d.varint())
+	w.ID = uniq.ID(d.string())
+	if d.err != nil {
+		return Watermark{}, nil, d.err
+	}
+	return w, d.b, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder consumes a buffer front-to-back, latching the first error so
+// field reads can be written straight-line.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("oplog: truncated entry: bad %s", what)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

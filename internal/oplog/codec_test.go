@@ -1,0 +1,100 @@
+package oplog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/uniq"
+)
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	cases := []Entry{
+		{},
+		{ID: "r0-000001", Kind: "deposit", Key: "acct-007", Arg: 100_00, Lam: 1, At: 5_000_000},
+		{ID: "x", Kind: "", Key: "", Arg: -42, Lam: 0, At: -1, Note: "free-form\nnote"},
+		{ID: uniq.ID(strings.Repeat("long", 100)), Kind: "k", Key: strings.Repeat("key", 50), Arg: 1 << 62, Lam: ^uint64(0), At: sim.Time(1 << 60)},
+	}
+	for _, want := range cases {
+		got, err := DecodeEntry(AppendEntry(nil, want))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestEntryCodecRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	str := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		rng.Read(b)
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		want := Entry{
+			ID:   uniq.ID(str(24)),
+			Kind: str(12),
+			Key:  str(12),
+			Note: str(40),
+			Arg:  rng.Int63() - rng.Int63(),
+			Lam:  rng.Uint64(),
+			At:   sim.Time(rng.Int63() - rng.Int63()),
+		}
+		got, err := DecodeEntry(AppendEntry(nil, want))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeEntryRejectsTruncationAndTrailing(t *testing.T) {
+	full := AppendEntry(nil, Entry{ID: "id-1", Kind: "kind", Key: "key", Note: "note", Arg: 7, Lam: 9, At: 11})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeEntry(full[:n]); err == nil {
+			t.Fatalf("decode accepted a %d/%d-byte truncation", n, len(full))
+		}
+	}
+	if _, err := DecodeEntry(append(append([]byte(nil), full...), 0x00)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+}
+
+func TestWatermarkCodecRoundTrip(t *testing.T) {
+	for _, want := range []Watermark{
+		{},
+		{Lam: 42, At: 1_000_000, ID: "r1-000007"},
+	} {
+		got, rest, err := DecodeWatermark(AppendWatermark(nil, want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want || len(rest) != 0 {
+			t.Fatalf("got %+v (rest %d) want %+v", got, len(rest), want)
+		}
+	}
+	// A watermark at the front of a longer buffer hands back the tail.
+	buf := AppendWatermark(nil, Watermark{Lam: 3})
+	buf = append(buf, 0xAA, 0xBB)
+	_, rest, err := DecodeWatermark(buf)
+	if err != nil || len(rest) != 2 {
+		t.Fatalf("tail: rest=%d err=%v", len(rest), err)
+	}
+}
+
+func TestJournalAt(t *testing.T) {
+	j := JournalAt(10)
+	if j.Len() != 10 || j.Base() != 10 || j.Retained() != 0 {
+		t.Fatalf("JournalAt(10): len=%d base=%d retained=%d", j.Len(), j.Base(), j.Retained())
+	}
+	j.Append(Entry{ID: "a"})
+	if got := j.Since(10); len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("Since(10) = %v", got)
+	}
+}

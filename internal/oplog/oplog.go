@@ -267,6 +267,12 @@ type Journal struct {
 	entries []Entry
 }
 
+// JournalAt returns an empty journal whose next append lands at absolute
+// position base — the constructor crash recovery uses to resume the
+// position numbering of a journal whose prefix [0, base) was already
+// truncated before the crash.
+func JournalAt(base int) Journal { return Journal{base: base} }
+
 // Append records one entry at position Len().
 func (j *Journal) Append(e Entry) { j.entries = append(j.entries, e) }
 

@@ -1,0 +1,1043 @@
+// Package store is the durable tier of a replica: a disk-backed,
+// append-only, segmented journal of oplog entries plus atomic ledger
+// snapshots, glued together by a group-commit fsync loop.
+//
+// §3.2 of Building on Quicksand is the design brief. The transaction log
+// "describing the changes to the state on disk" is also the stream that
+// carries state across the failure boundary — checkpointing and logging
+// are one mechanism, so this store persists the *operations* (the ledger
+// the ACID 2.0 engine already gossips), never derived state. A snapshot
+// here is not a memory image: it is the checkpointed prefix of the
+// ledger itself, serialized in canonical fold order, from which recovery
+// re-derives the fold checkpoint by replaying — the log *is* the
+// checkpoint. And commits board a shared fsync the way §3.2's riders
+// board a city bus [Group Commit Timers, Helland et al. 1987]: a flush
+// departs on a timer or when full, so N concurrent commits cost far
+// fewer than N disk flushes (internal/wal models the same economics on
+// the simulator; this package pays them against real files).
+//
+// # On-disk layout
+//
+// A store owns one directory:
+//
+//	journal-0000000000.seg   segment: 6-byte magic, then records
+//	journal-0000012345.seg   (filename = absolute position of first record)
+//	snap-0000012000.snap     snapshot taken at journal position 12000
+//
+// Every journal record is [uint32 length][uint32 CRC-32C][entry bytes]
+// (little-endian, oplog.AppendEntry payload). Appends go to the last
+// segment; once it exceeds Options.SegmentBytes it is sealed (fsynced,
+// closed) and a fresh segment starts at the next position. Snapshots are
+// written to a temp file, fsynced, and renamed into place — they are
+// atomic or absent — and only the newest Options.KeepSnapshots survive.
+//
+// # Recovery and the truncation invariant
+//
+// Open replays the directory back into memory: newest parseable
+// snapshot, then every retained journal record after it. A torn final
+// record — a crash mid-append — is truncated away and counted, exactly
+// the "examine the work in the tail of the log and determine what the
+// heck to do" of §5.1; an invalid record anywhere *before* the tail is
+// corruption and fails Open loudly. Journal segments are deleted only
+// when every position they hold is below BOTH the newest durable
+// snapshot (Open could rebuild without them) and the position every
+// gossip peer has acknowledged (no peer will ever need them re-pushed):
+// Compact takes the min of the two watermarks the owner feeds it.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/oplog"
+)
+
+// Filenames and framing constants.
+const (
+	segMagic   = "QSEG1\n" // journal segment header
+	snapMagic  = "QSNP1\n" // snapshot header
+	snapFooter = "QEND\n"  // snapshot trailer: present iff the write completed
+	recHdrLen  = 8         // uint32 length + uint32 CRC-32C
+	maxRecord  = 16 << 20  // sanity bound on one record's payload
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a record that failed its CRC (or decoded to
+// garbage) somewhere other than the journal's final record — damage a
+// torn write cannot explain, which recovery must not paper over.
+var ErrCorrupt = errors.New("store: corrupt journal record before the tail")
+
+// Mode selects how commits reach the platter.
+type Mode int
+
+const (
+	// ModeGroup (the default) flushes as soon as the device is free,
+	// coalescing every commit that arrives while a flush is in flight —
+	// no added latency when idle, natural batching under load.
+	ModeGroup Mode = iota
+	// ModeTimer holds the bus for Options.Interval (departing early once
+	// Options.MaxBatch commits are waiting), trading bounded latency for
+	// bigger batches.
+	ModeTimer
+	// ModeEveryOp is the car-per-driver baseline of 1984: one fsync per
+	// staged batch, no coalescing. Kept so benchmarks can measure what
+	// group commit saves.
+	ModeEveryOp
+)
+
+// Options tunes a Store. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes rotates the active journal segment once it exceeds
+	// this size (default 4 MiB).
+	SegmentBytes int
+	// Mode picks the commit economics (default ModeGroup).
+	Mode Mode
+	// Interval is ModeTimer's departure timer (default 2ms).
+	Interval time.Duration
+	// MaxBatch departs a ModeTimer flush early once this many staged
+	// batches are waiting (default 512).
+	MaxBatch int
+	// KeepSnapshots bounds how many snapshot files survive pruning
+	// (default 2; the newest is recovery's source, the runner-up is
+	// insurance against a torn newest).
+	KeepSnapshots int
+	// Inline runs every flush, snapshot, and compaction synchronously on
+	// the calling goroutine instead of the background flusher — the
+	// deterministic coupling the simulator transport needs. Group-commit
+	// economics disappear (each Commit pays its own fsync); correctness
+	// is identical.
+	Inline bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 512
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 2
+	}
+	return o
+}
+
+// Stats counts the store's disk work.
+type Stats struct {
+	Fsyncs    int64 // journal fsyncs completed (the figure group commit minimizes)
+	Appended  int64 // entries staged for the journal
+	Snapshots int64 // snapshot files written
+	// SnapshotFailures counts snapshot attempts that could not reach
+	// disk. A non-zero, growing value means the snapshot watermark — and
+	// with it journal compaction — has stalled: durability maintenance
+	// is failing even though commits may still succeed.
+	SnapshotFailures int64
+	TornBytes        int64 // bytes truncated from a torn tail at Open
+}
+
+// Recovery is everything Open rebuilt from disk. The owner re-derives
+// its in-memory structures from it: operation set = SnapshotEntries ∪
+// JournalEntries (set union dedupes the overlap), Lamport clock = max
+// over both, fold checkpoint = refold (SnapshotMark names where the
+// snapshot's fold stood), gossip journal = JournalEntries at absolute
+// positions [Base, End).
+type Recovery struct {
+	SnapshotEntries []oplog.Entry   // canonical order, as snapshotted
+	SnapshotPos     int             // journal position the snapshot covers
+	SnapshotMark    oplog.Watermark // fold watermark at snapshot time
+	JournalEntries  []oplog.Entry   // arrival order, positions [Base, End)
+	Base            int             // absolute position of the first retained journal entry
+	End             int             // next position to be appended
+	TornBytes       int64           // bytes dropped from a torn final record
+}
+
+// chunk is one Stage call's worth of staged entries; ModeEveryOp fsyncs
+// chunk-at-a-time, the group modes drain every chunk into one flush.
+type chunk struct {
+	entries []oplog.Entry
+	end     int // position just past the last entry
+}
+
+type waiter struct {
+	end int
+	fn  func(ok bool)
+}
+
+// segment is one journal file's metadata.
+type segment struct {
+	path   string
+	start  int // absolute position of its first record
+	count  int // records it holds
+	sealed bool
+}
+
+// Store is one replica's durable tier. Stage/Commit/AckTo/WriteSnapshot
+// are safe for concurrent use; Stage calls must be externally serialized
+// in position order (the owning replica stages under its own mutex).
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	pending []chunk
+	waiters []waiter
+	end     int // next position to assign
+	flushed int // positions below this are fsynced
+	ackPos  int // min position every gossip peer has acknowledged
+	snapPos int // position covered by the newest durable snapshot
+	segs    []segment
+	failed  error // sticky I/O error: all later commits fail
+	closed  bool
+
+	// File handles are owned by whoever runs flushes: the background
+	// flusher goroutine, or the calling goroutine under flushMu when
+	// Inline. Never touched with mu held — fsync must not block staging.
+	flushMu  sync.Mutex
+	seg      *os.File
+	segBytes int64
+	scratch  []byte
+
+	kick     chan struct{} // wake the flusher (buffered, coalescing)
+	full     chan struct{} // ModeTimer early departure
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	snapBusy atomic.Bool
+
+	fsyncs    atomic.Int64
+	appended  atomic.Int64
+	snapshots atomic.Int64
+	snapFails atomic.Int64
+	tornBytes int64
+}
+
+// Open replays dir (created if absent) and returns the store positioned
+// to append after everything recovered. Abandoned temp files are swept,
+// a torn final record is truncated away, and corruption before the tail
+// fails with ErrCorrupt.
+func Open(dir string, opt Options) (*Store, Recovery, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, err
+	}
+	s := &Store{
+		dir:  dir,
+		opt:  opt,
+		kick: make(chan struct{}, 1),
+		full: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	rec, err := s.replay()
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	s.end = rec.End
+	s.flushed = rec.End
+	s.ackPos = rec.Base
+	s.snapPos = rec.SnapshotPos
+	s.tornBytes = rec.TornBytes
+	if !opt.Inline {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
+	return s, rec, nil
+}
+
+// Dir reports the directory the store lives in.
+func (s *Store) Dir() string { return s.dir }
+
+// InlineMode reports whether all disk work runs synchronously on the
+// calling goroutine (Options.Inline) rather than on background
+// goroutines. Callers that must react to a commit failure from inside
+// its callback use this to decide whether spawning is safe — and, on
+// the deterministic simulator, forbidden.
+func (s *Store) InlineMode() bool { return s.opt.Inline }
+
+// End reports the next journal position to be assigned.
+func (s *Store) End() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// SnapshotPos reports the journal position covered by the newest durable
+// snapshot.
+func (s *Store) SnapshotPos() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapPos
+}
+
+// Stats returns the disk-work counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Fsyncs:           s.fsyncs.Load(),
+		Appended:         s.appended.Load(),
+		Snapshots:        s.snapshots.Load(),
+		SnapshotFailures: s.snapFails.Load(),
+		TornBytes:        s.tornBytes,
+	}
+}
+
+// Stage queues entries for the journal at the next positions and returns
+// the position just past the last one — the watermark to pass to Commit.
+// Staging is memory-only; durability arrives with the flush that covers
+// the returned position. After Close or Crash, staging is a no-op (the
+// process is gone; there is nowhere for the bytes to go).
+func (s *Store) Stage(entries []oplog.Entry) int {
+	s.mu.Lock()
+	if s.closed || len(entries) == 0 {
+		end := s.end
+		s.mu.Unlock()
+		return end
+	}
+	s.end += len(entries)
+	end := s.end
+	s.pending = append(s.pending, chunk{entries: entries, end: end})
+	batchFull := s.opt.Mode == ModeTimer && len(s.pending) >= s.opt.MaxBatch
+	s.mu.Unlock()
+	s.appended.Add(int64(len(entries)))
+	if batchFull {
+		signal(s.full)
+	}
+	return end
+}
+
+// Commit asks for durability of every position below end; then fires
+// exactly once — with ok=true after the flush that covers end, or
+// ok=false if the store crashed or hit an I/O error first. then runs on
+// the flusher goroutine (inline on the caller when Options.Inline), so
+// it must not block on a future commit of this store.
+func (s *Store) Commit(end int, then func(ok bool)) {
+	if then == nil {
+		then = func(bool) {}
+	}
+	s.mu.Lock()
+	switch {
+	case s.failed != nil:
+		s.mu.Unlock()
+		then(false)
+		return
+	case end <= s.flushed:
+		s.mu.Unlock()
+		then(true)
+		return
+	case s.closed:
+		// Nothing further will be flushed.
+		s.mu.Unlock()
+		then(false)
+		return
+	}
+	s.waiters = append(s.waiters, waiter{end: end, fn: then})
+	s.mu.Unlock()
+	if s.opt.Inline {
+		s.drain()
+		return
+	}
+	signal(s.kick)
+}
+
+// AckTo records that every gossip peer has acknowledged positions below
+// pos, unlocking compaction of segments the peers will never need again.
+func (s *Store) AckTo(pos int) {
+	s.mu.Lock()
+	changed := pos > s.ackPos
+	if changed {
+		s.ackPos = pos
+	}
+	s.mu.Unlock()
+	if !changed {
+		return
+	}
+	if s.opt.Inline {
+		s.compact()
+	} else {
+		signal(s.kick) // the flusher compacts after its next pass
+	}
+}
+
+// WriteSnapshot atomically persists the ledger prefix [0, pos): entries
+// in canonical fold order, stamped with the fold watermark they derive.
+// The write waits for the journal flush covering pos — a snapshot that
+// became durable ahead of the journal records it claims to cover would,
+// after a crash, let compaction delete segments holding entries that
+// are in no snapshot — and then happens off the caller's path (inline
+// under Options.Inline). If a snapshot write is already running, this
+// one is skipped; the next trigger covers a superset. On success the
+// snapshot watermark advances, old snapshots are pruned to
+// Options.KeepSnapshots, and fully-covered journal segments become
+// compactable; a failed write counts in Stats.SnapshotFailures and the
+// watermark stays put, so compaction stalls visibly rather than
+// silently losing data.
+func (s *Store) WriteSnapshot(entries []oplog.Entry, pos int, mark oplog.Watermark) {
+	s.Commit(pos, func(ok bool) {
+		if !ok {
+			s.snapFails.Add(1)
+			return
+		}
+		if s.opt.Inline {
+			s.writeSnapshot(entries, pos, mark)
+			return
+		}
+		if !s.snapBusy.CompareAndSwap(false, true) {
+			return
+		}
+		// closed and the Add must be decided under one lock: stop() only
+		// waits for goroutines added before closed became visible.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.snapBusy.Store(false)
+			return
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer s.snapBusy.Store(false)
+			s.writeSnapshot(entries, pos, mark)
+		}()
+	})
+}
+
+// Close flushes everything staged, fsyncs, and closes the files — the
+// graceful shutdown. It reports the sticky I/O error, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.drain()
+	s.flushMu.Lock()
+	if s.seg != nil {
+		s.seg.Close()
+		s.seg = nil
+	}
+	s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Crash simulates the process dying: staged-but-unflushed entries are
+// dropped, every pending commit fails with ok=false, and the files are
+// closed with no final fsync. What Open finds afterwards is exactly what
+// earlier flushes made durable — the volatile tail is gone, as §2.2's
+// fail-fast discipline demands.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	s.closed = true
+	s.pending = nil
+	dead := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	s.stop()
+	s.flushMu.Lock()
+	if s.seg != nil {
+		s.seg.Close()
+		s.seg = nil
+	}
+	s.flushMu.Unlock()
+	for _, w := range dead {
+		w.fn(false)
+	}
+}
+
+// stop halts the background goroutines and waits for them.
+func (s *Store) stop() {
+	s.stopOnce.Do(func() { close(s.quit) })
+	if !s.opt.Inline {
+		s.wg.Wait()
+	}
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop is the city bus: it departs when kicked (ModeGroup: at
+// once; ModeTimer: after the interval or a full batch), flushes
+// everything aboard with one fsync, fires the satisfied commit waiters,
+// and compacts any segment the snapshot and ack watermarks have both
+// passed.
+func (s *Store) flushLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.kick:
+		}
+		if s.opt.Mode == ModeTimer {
+			timer := time.NewTimer(s.opt.Interval)
+			select {
+			case <-timer.C:
+			case <-s.full:
+				timer.Stop()
+			case <-s.quit:
+				timer.Stop()
+				return
+			}
+		}
+		s.drain()
+		s.compact()
+	}
+}
+
+// drain flushes staged chunks until none remain: one fsync for the lot
+// in the group modes, one fsync per chunk in ModeEveryOp.
+func (s *Store) drain() {
+	for {
+		limit := -1
+		if s.opt.Mode == ModeEveryOp {
+			limit = 1
+		}
+		fire, more := s.flushOnce(limit)
+		for _, w := range fire {
+			w.fn(w.end >= 0)
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// flushOnce writes up to limit staged chunks (-1 for all), fsyncs, and
+// returns the commit waiters now satisfied — a negative end marking
+// waiters being failed after an I/O error — plus whether chunks remain.
+func (s *Store) flushOnce(limit int) (fire []waiter, more bool) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	s.mu.Lock()
+	if s.failed != nil {
+		fire = failAll(s.waiters)
+		s.waiters = nil
+		s.pending = nil
+		s.mu.Unlock()
+		return fire, false
+	}
+	var take []chunk
+	if limit < 0 || limit >= len(s.pending) {
+		take, s.pending = s.pending, nil
+	} else {
+		take = s.pending[:limit:limit]
+		s.pending = s.pending[limit:]
+	}
+	s.mu.Unlock()
+
+	if len(take) == 0 {
+		// Nothing staged; a waiter may still be satisfiable (its entries
+		// rode an earlier flush) or doomed (staged entries were dropped
+		// by Crash between its Stage and Commit).
+		s.mu.Lock()
+		fire = s.takeWaitersLocked()
+		if s.closed {
+			fire = append(fire, failAll(s.waiters)...)
+			s.waiters = nil
+		}
+		s.mu.Unlock()
+		return fire, false
+	}
+
+	err := s.writeChunks(take)
+	if err == nil {
+		err = s.syncSeg()
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		s.failed = err
+		fire = failAll(s.waiters)
+		s.waiters = nil
+		s.pending = nil
+		s.mu.Unlock()
+		return fire, false
+	}
+	s.flushed = take[len(take)-1].end
+	fire = s.takeWaitersLocked()
+	more = len(s.pending) > 0
+	s.mu.Unlock()
+	return fire, more
+}
+
+func failAll(ws []waiter) []waiter {
+	out := make([]waiter, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, waiter{end: -1, fn: w.fn})
+	}
+	return out
+}
+
+// takeWaitersLocked removes and returns the waiters covered by the
+// flushed watermark. Caller holds mu.
+func (s *Store) takeWaitersLocked() []waiter {
+	var fire []waiter
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.end <= s.flushed {
+			fire = append(fire, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
+	return fire
+}
+
+// writeChunks appends the chunks' entries as framed records to the
+// active segment, rotating between chunks when the segment is over
+// size. Caller holds flushMu.
+func (s *Store) writeChunks(chunks []chunk) error {
+	if s.seg == nil {
+		if err := s.openSegLocked(); err != nil {
+			return err
+		}
+	}
+	for _, c := range chunks {
+		if s.segBytes >= int64(s.opt.SegmentBytes) {
+			if err := s.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		s.scratch = s.scratch[:0]
+		for _, e := range c.entries {
+			s.scratch = appendRecord(s.scratch, e)
+		}
+		n, err := s.seg.Write(s.scratch)
+		s.segBytes += int64(n)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.segs[len(s.segs)-1].count += len(c.entries)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func appendRecord(buf []byte, e oplog.Entry) []byte {
+	payload := oplog.AppendEntry(nil, e)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+func (s *Store) syncSeg() error {
+	if err := s.seg.Sync(); err != nil {
+		return err
+	}
+	s.fsyncs.Add(1)
+	return nil
+}
+
+// openSegLocked opens (or creates) the active segment for appending.
+// Caller holds flushMu.
+func (s *Store) openSegLocked() error {
+	s.mu.Lock()
+	if len(s.segs) == 0 {
+		// The first record written lands at the flushed watermark — never
+		// at end, which counts staged-but-unwritten entries too.
+		s.segs = append(s.segs, segment{path: s.segPath(s.flushed), start: s.flushed})
+	}
+	active := s.segs[len(s.segs)-1]
+	s.mu.Unlock()
+	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	size := info.Size()
+	if size < int64(len(segMagic)) {
+		// Fresh segment (or a header torn by a crash at creation): start it over.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+			f.Close()
+			return err
+		}
+		size = int64(len(segMagic))
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg = f
+	s.segBytes = size
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one at the
+// current end of the flushed+pending stream. Caller holds flushMu.
+func (s *Store) rotateLocked() error {
+	if err := s.syncSeg(); err != nil {
+		return err
+	}
+	if err := s.seg.Close(); err != nil {
+		return err
+	}
+	s.seg = nil
+	s.mu.Lock()
+	last := &s.segs[len(s.segs)-1]
+	last.sealed = true
+	next := last.start + last.count
+	s.segs = append(s.segs, segment{path: s.segPath(next), start: next})
+	s.mu.Unlock()
+	return s.openSegLocked()
+}
+
+func (s *Store) segPath(start int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("journal-%010d.seg", start))
+}
+
+func (s *Store) snapPath(pos int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%010d.snap", pos))
+}
+
+// compact deletes sealed journal segments every position of which is
+// below both watermarks — durably snapshotted AND acknowledged by every
+// gossip peer. Either alone is not enough: compacting on the snapshot
+// only could strand a slow peer mid-catch-up after a crash, compacting
+// on acks only could leave Open with a journal whose prefix is neither
+// on disk nor reconstructible.
+func (s *Store) compact() {
+	s.mu.Lock()
+	keep := s.ackPos
+	if s.snapPos < keep {
+		keep = s.snapPos
+	}
+	var doomed []string
+	for len(s.segs) > 1 && s.segs[0].sealed && s.segs[0].start+s.segs[0].count <= keep {
+		doomed = append(doomed, s.segs[0].path)
+		s.segs = s.segs[1:]
+	}
+	s.mu.Unlock()
+	for _, path := range doomed {
+		os.Remove(path)
+	}
+	if len(doomed) > 0 {
+		syncDir(s.dir)
+	}
+}
+
+// writeSnapshot does the actual temp-write + fsync + rename.
+func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Watermark) {
+	s.mu.Lock()
+	if s.closed || s.failed != nil || pos <= s.snapPos {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	buf := make([]byte, 0, 64+64*len(entries))
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, uint64(pos))
+	buf = oplog.AppendWatermark(buf, mark)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = appendRecord(buf, e)
+	}
+	buf = append(buf, snapFooter...)
+
+	final := s.snapPath(pos)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
+		s.snapFails.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		s.snapFails.Add(1)
+		return
+	}
+	syncDir(s.dir)
+	s.snapshots.Add(1)
+
+	s.mu.Lock()
+	if pos > s.snapPos {
+		s.snapPos = pos
+	}
+	s.mu.Unlock()
+	s.pruneSnapshots()
+	s.compact()
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// pruneSnapshots deletes all but the newest KeepSnapshots snapshot files.
+func (s *Store) pruneSnapshots() {
+	names, err := filepath.Glob(filepath.Join(s.dir, "snap-*.snap"))
+	if err != nil || len(names) <= s.opt.KeepSnapshots {
+		return
+	}
+	sort.Strings(names) // position-padded names sort oldest first
+	for _, path := range names[:len(names)-s.opt.KeepSnapshots] {
+		os.Remove(path)
+	}
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable before we depend on them.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ---- Open-time replay ----------------------------------------------------
+
+func (s *Store) replay() (Recovery, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Recovery{}, err
+	}
+	var segPaths, snapPaths []string
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An abandoned atomic write: never renamed, never valid.
+			os.Remove(filepath.Join(s.dir, name))
+		case strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".seg"):
+			segPaths = append(segPaths, name)
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			snapPaths = append(snapPaths, name)
+		}
+	}
+	sort.Strings(segPaths)
+	sort.Strings(snapPaths)
+
+	rec := Recovery{}
+	// Newest parseable snapshot wins; a torn or corrupt one falls back to
+	// its predecessor (atomic rename makes this near-impossible, but
+	// recovery code gets to be paranoid for free).
+	for i := len(snapPaths) - 1; i >= 0; i-- {
+		entries, pos, mark, err := loadSnapshot(filepath.Join(s.dir, snapPaths[i]))
+		if err == nil {
+			rec.SnapshotEntries, rec.SnapshotPos, rec.SnapshotMark = entries, pos, mark
+			break
+		}
+	}
+
+	for i, name := range segPaths {
+		path := filepath.Join(s.dir, name)
+		start, err := segStart(name)
+		if err != nil {
+			return Recovery{}, fmt.Errorf("store: bad segment name %q: %w", name, err)
+		}
+		if i == 0 {
+			rec.Base = start
+			rec.End = start
+		} else if start != rec.End {
+			return Recovery{}, fmt.Errorf("store: journal gap: segment %q starts at %d, want %d", name, start, rec.End)
+		}
+		final := i == len(segPaths)-1
+		entries, torn, err := s.scanSegment(path, final)
+		if err != nil {
+			return Recovery{}, err
+		}
+		rec.TornBytes += torn
+		rec.JournalEntries = append(rec.JournalEntries, entries...)
+		rec.End += len(entries)
+		s.segs = append(s.segs, segment{path: path, start: start, count: len(entries), sealed: !final})
+	}
+	if len(segPaths) == 0 {
+		// Fresh directory, or every segment compacted away before a
+		// crash: the journal resumes just past the snapshot.
+		rec.Base = rec.SnapshotPos
+		rec.End = rec.SnapshotPos
+	}
+	if rec.Base > rec.SnapshotPos && rec.Base > 0 {
+		return Recovery{}, fmt.Errorf("store: positions [%d, %d) are on no snapshot and no retained segment", rec.SnapshotPos, rec.Base)
+	}
+	if rec.SnapshotPos > rec.End {
+		// A snapshot claiming positions the journal never durably held:
+		// WriteSnapshot gates on the covering flush precisely so this
+		// state cannot arise, so finding it means the directory was
+		// tampered with or mixes incarnations — resuming would assign
+		// fresh entries to positions the snapshot already claims.
+		return Recovery{}, fmt.Errorf("store: snapshot covers [0, %d) but the journal ends at %d", rec.SnapshotPos, rec.End)
+	}
+	return rec, nil
+}
+
+func segStart(name string) (int, error) {
+	return strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".seg"))
+}
+
+// scanSegment replays one segment file. In a sealed (non-final) segment
+// every record must verify; in the final segment an invalid record is a
+// torn tail — truncated away and durably forgotten — unless valid-looking
+// bytes follow it, which no torn write produces: that is ErrCorrupt.
+func (s *Store) scanSegment(path string, final bool) (entries []oplog.Entry, torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		if final {
+			// A crash before the header finished; openSegLocked rewrites it.
+			return nil, int64(len(data)), truncateTo(path, 0)
+		}
+		return nil, 0, fmt.Errorf("store: %s: %w", filepath.Base(path), ErrCorrupt)
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		rest := data[off:]
+		ok, size, e := parseRecord(rest)
+		if !ok {
+			if !final {
+				return nil, 0, fmt.Errorf("store: %s: record at offset %d: %w", filepath.Base(path), off, ErrCorrupt)
+			}
+			if trailingRecords(rest) {
+				// The bytes beyond the bad record still parse as records:
+				// a torn write cannot leave valid data after the tear, so
+				// this is mid-journal damage, not a crash artifact.
+				return nil, 0, fmt.Errorf("store: %s: record at offset %d: %w", filepath.Base(path), off, ErrCorrupt)
+			}
+			torn = int64(len(data) - off)
+			return entries, torn, truncateTo(path, int64(off))
+		}
+		entries = append(entries, e)
+		off += size
+	}
+	return entries, 0, nil
+}
+
+// parseRecord attempts one record at the front of b, reporting whether
+// it verified, how many bytes it spanned, and the decoded entry.
+func parseRecord(b []byte) (ok bool, size int, e oplog.Entry) {
+	if len(b) < recHdrLen {
+		return false, 0, oplog.Entry{}
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if n <= 0 || n > maxRecord || recHdrLen+n > len(b) {
+		return false, 0, oplog.Entry{}
+	}
+	payload := b[recHdrLen : recHdrLen+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return false, recHdrLen + n, oplog.Entry{}
+	}
+	e, err := oplog.DecodeEntry(payload)
+	if err != nil {
+		return false, recHdrLen + n, oplog.Entry{}
+	}
+	return true, recHdrLen + n, e
+}
+
+// trailingRecords reports whether bytes beyond the (invalid) record at
+// the front of b parse as at least one valid record — the signature of
+// mid-journal corruption rather than a torn tail.
+func trailingRecords(b []byte) bool {
+	_, size, _ := parseRecord(b)
+	if size == 0 || size >= len(b) {
+		return false
+	}
+	ok, _, _ := parseRecord(b[size:])
+	return ok
+}
+
+func truncateTo(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// loadSnapshot parses one snapshot file end to end; any shortfall —
+// magic, a record CRC, the footer — invalidates the whole file.
+func loadSnapshot(path string) (entries []oplog.Entry, pos int, mark oplog.Watermark, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, oplog.Watermark{}, err
+	}
+	bad := func(what string) error { return fmt.Errorf("store: snapshot %s: bad %s", filepath.Base(path), what) }
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, oplog.Watermark{}, bad("magic")
+	}
+	b := data[len(snapMagic):]
+	upos, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, oplog.Watermark{}, bad("position")
+	}
+	b = b[n:]
+	mark, b, err = oplog.DecodeWatermark(b)
+	if err != nil {
+		return nil, 0, oplog.Watermark{}, bad("watermark")
+	}
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, oplog.Watermark{}, bad("count")
+	}
+	b = b[n:]
+	entries = make([]oplog.Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ok, size, e := parseRecord(b)
+		if !ok {
+			return nil, 0, oplog.Watermark{}, bad(fmt.Sprintf("record %d", i))
+		}
+		entries = append(entries, e)
+		b = b[size:]
+	}
+	if string(b) != snapFooter {
+		return nil, 0, oplog.Watermark{}, bad("footer")
+	}
+	return entries, int(upos), mark, nil
+}

@@ -167,6 +167,56 @@ func BenchmarkLiveShardedBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveDurable measures what disk durability costs on the live
+// transport, and what group commit buys back. Three arms over the same
+// 256-op ingest batches on one replica (no gossip, so every journal
+// append is an accepted op): no disk at all; the group-committing store
+// — every accepted submit is fsynced before its Result resolves, but
+// in-flight submits share flushes, §3.2's city bus; and the
+// car-per-driver baseline paying one fsync per op. The fsyncs/op metric
+// is the acceptance figure: the group arm must land at ≤0.1 (≥10×
+// fewer fsyncs than one-per-op) while still acknowledging nothing
+// before it is durable.
+func BenchmarkLiveDurable(b *testing.B) {
+	const batchSize = 256
+	arms := []struct {
+		name string
+		opts func(b *testing.B) []quicksand.Option
+	}{
+		{"volatile", func(b *testing.B) []quicksand.Option { return nil }},
+		{"group-commit", func(b *testing.B) []quicksand.Option {
+			return []quicksand.Option{quicksand.WithDurability(b.TempDir())}
+		}},
+		{"fsync-per-op", func(b *testing.B) []quicksand.Option {
+			return []quicksand.Option{quicksand.WithDurability(b.TempDir()), quicksand.WithFsyncEvery(-1)}
+		}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			c := quicksand.New[int64](sumApp{}, nil,
+				append([]quicksand.Option{quicksand.WithReplicas(1)}, arm.opts(b)...)...)
+			defer c.Close()
+			ctx := context.Background()
+			batch := make([]quicksand.Op, batchSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = quicksand.NewOp("add", "k", 1)
+				}
+				if _, err := c.SubmitBatch(ctx, 0, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := c.DurabilityStats()
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "ops/s")
+			if st.Appended > 0 {
+				b.ReportMetric(float64(st.Fsyncs)/float64(st.Appended), "fsyncs/op")
+			}
+		})
+	}
+}
+
 // BenchmarkLiveSubmitBatch measures bulk ingest through SubmitBatch —
 // the throughput path, amortizing the blocking machinery over 100 ops.
 func BenchmarkLiveSubmitBatch(b *testing.B) {

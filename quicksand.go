@@ -35,18 +35,25 @@
 // WithGossipEvery, ...), submit typed Ops synchronously with
 // Submit(ctx, ...) or in bulk with SubmitBatch, and pick risk per
 // operation with WithPolicy. WithShards partitions the key space across
-// independent replica groups — §6's scale-out move — while the
-// Transport seam runs the same cluster code on the deterministic
-// simulator (SimTransport) for experiments or on real goroutines
-// (LiveTransport) for wall-clock benchmarks. See examples/quickstart
-// and examples/banking for end-to-end use.
+// independent replica groups — §6's scale-out move — and
+// WithDurability puts a disk under every replica (internal/store: a
+// CRC-checked segmented journal plus atomic snapshots, group-commit
+// fsyncs per §3.2's city-bus economics), enabling the hard-crash
+// lifecycle: Kill drops a replica's RAM, Recover rebuilds it from disk
+// and rejoins gossip, and New cold-starts from an earlier
+// incarnation's directory. The Transport seam runs the same cluster
+// code on the deterministic simulator (SimTransport) for experiments
+// or on real goroutines (LiveTransport) for wall-clock benchmarks. See
+// examples/quickstart and examples/banking for end-to-end use.
 //
-// The derived evaluation lives in internal/experiment (18 experiments,
+// The derived evaluation lives in internal/experiment (19 experiments,
 // each pinned to a quoted claim); run it with cmd/quicksand-bench or
 // `go test -bench=.` at the module root. See DESIGN.md for the system
 // inventory and README.md for the public API tour.
 package quicksand
 
-// Version identifies this reproduction. 2.0.0 is the public API: typed
-// ops, context-aware submits, functional options, pluggable transports.
-const Version = "2.0.0"
+// Version identifies this reproduction. 2.x is the public API: typed
+// ops, context-aware submits, functional options, pluggable transports;
+// 2.1 adds the durable storage engine (WithDurability, Kill/Recover)
+// and removes the deprecated SubmitOp shim.
+const Version = "2.1.0"
