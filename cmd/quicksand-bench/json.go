@@ -1,0 +1,80 @@
+package main
+
+// Machine-readable benchmark output (-json FILE): every arm of the -live
+// and -durable tables is also recorded as a benchResult, and the whole
+// run — host fingerprint included, since live numbers measure this
+// machine, not the protocol — is written as one JSON document. CI
+// uploads it as an artifact and BENCH_live.json at the repository root
+// pins the perf trajectory release by release.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// benchResult is one measured arm.
+type benchResult struct {
+	Table       string  `json:"table"`            // "live" or "live-durable"
+	Arm         string  `json:"arm"`              // row label, e.g. "shards=4" or "group-commit"
+	Accepted    int64   `json:"accepted"`         // operations accepted during the window
+	OpsPerSec   float64 `json:"ops_per_sec"`      // accepted / window
+	NsPerOp     float64 `json:"ns_per_op"`        // window / accepted
+	AllocsPerOp float64 `json:"allocs_per_op"`    // heap allocations per accepted op, whole process
+	P50Ns       float64 `json:"p50_ns"`           // submit latency median
+	P99Ns       float64 `json:"p99_ns"`           // submit latency tail
+	Fsyncs      int64   `json:"fsyncs"`           // disk flushes during the window (0 when volatile)
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`    // the group-commit amortization figure
+	Converged   bool    `json:"converged"`        // did gossip quiesce afterwards
+	Window      string  `json:"window,omitempty"` // sampling duration per arm
+}
+
+// benchReport is the whole -json document.
+type benchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Window      string        `json:"window_per_arm"`
+	Results     []benchResult `json:"results"`
+}
+
+func newBenchReport(window time.Duration) *benchReport {
+	return &benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Window:      window.String(),
+	}
+}
+
+func (r *benchReport) add(res benchResult) {
+	if r == nil {
+		return
+	}
+	res.Window = r.Window
+	r.Results = append(r.Results, res)
+}
+
+func (r *benchReport) write(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// mallocs reads the process-wide cumulative heap allocation count; the
+// delta across a sampling window divided by accepted ops is the
+// allocs/op column. It includes gossip, stores, and GC-visible
+// everything — deliberately: that is the figure a capacity planner sees.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}

@@ -1,9 +1,11 @@
 package main
 
 // The -live mode: wall-clock throughput of the ACID 2.0 engine on the
-// goroutine transport, swept across shard counts. Unlike the experiment
-// tables, these numbers are NOT deterministic — they measure this
-// machine, not the protocol.
+// goroutine transport, swept across shard counts and across the two
+// ingest paths (per-op dispatch and the batched single-writer pipeline).
+// Unlike the experiment tables, these numbers are NOT deterministic —
+// they measure this machine, not the protocol. With -json FILE every row
+// is also recorded machine-readably.
 
 import (
 	"context"
@@ -36,7 +38,7 @@ func admitAll() quicksand.Rule[int64] {
 	}
 }
 
-func runLiveBench(duration time.Duration, maxShards int) {
+func runLiveBench(duration time.Duration, maxShards int, report *benchReport) {
 	if maxShards < 1 {
 		maxShards = 1
 	}
@@ -44,8 +46,8 @@ func runLiveBench(duration time.Duration, maxShards int) {
 	fmt.Println("\nLIVE: engine throughput on the goroutine transport (wall clock, this machine, not deterministic)")
 	tab := stats.NewTable(
 		fmt.Sprintf("live — rule-checked submits for %v per row, %d workers, 3 replicas/shard, gossip every 1ms", duration, workers),
-		"Every worker loops Submit(ctx, ...) at replica index 0 over 256 keys: unsharded, one replica mutex serializes them all; sharded, each shard's group folds and gossips only its own keys. The 1→N curve is the scaling sharding buys on this machine.",
-		"shards", "accepted", "ops/sec", "submit p50", "submit p99", "converged after quiesce")
+		"Every worker loops Submit(ctx, ...) at replica index 0 over 256 keys: unsharded, one replica mutex serializes them all; sharded, each shard's group folds and gossips only its own keys. The ingest=256 rows route the same stream through the batched single-writer pipeline (WithIngestBatch). The 1→N curve is the scaling sharding buys on this machine.",
+		"arm", "accepted", "ops/sec", "allocs/op", "submit p50", "submit p99", "converged after quiesce")
 	keys := make([]string, 256)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("k%03d", i)
@@ -55,22 +57,38 @@ func runLiveBench(duration time.Duration, maxShards int) {
 		counts = append(counts, s)
 	}
 	counts = append(counts, maxShards)
+	type liveArm struct {
+		label string
+		opts  []quicksand.Option
+	}
+	arms := make([]liveArm, 0, len(counts)+2)
 	for _, shards := range counts {
+		arms = append(arms, liveArm{fmt.Sprintf("shards=%d", shards),
+			[]quicksand.Option{quicksand.WithShards(shards)}})
+	}
+	// The pipeline arms: same workload, batched single-writer ingest.
+	arms = append(arms, liveArm{"shards=1 ingest=256", []quicksand.Option{quicksand.WithIngestBatch(256)}})
+	if maxShards > 1 {
+		arms = append(arms, liveArm{fmt.Sprintf("shards=%d ingest=256", maxShards),
+			[]quicksand.Option{quicksand.WithShards(maxShards), quicksand.WithIngestBatch(256)}})
+	}
+	for _, arm := range arms {
 		c := quicksand.New[int64](liveApp{}, []quicksand.Rule[int64]{admitAll()},
-			quicksand.WithShards(shards),
-			quicksand.WithGossipEvery(time.Millisecond))
-		runLiveRow(tab, c, fmt.Sprint(shards), duration, workers, keys)
+			append([]quicksand.Option{quicksand.WithGossipEvery(time.Millisecond)}, arm.opts...)...)
+		res := runLiveRow(tab, c, arm.label, duration, workers, keys)
+		res.Table = "live"
+		report.add(res)
 	}
 	fmt.Print(tab.String())
 }
 
 // runLiveRow drives one cluster with the standard worker loop for the
-// sampling window, quiesces it, closes it, and appends its row. It
-// returns the accepted-op and fsync counts for callers that derive
-// further columns.
-func runLiveRow(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, workers int, keys []string) (accepted, fsyncs int64) {
+// sampling window, quiesces it, closes it, and appends its row, also
+// returning the measurement for machine-readable output.
+func runLiveRow(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, workers int, keys []string) benchResult {
 	var total atomic.Int64
 	var wg sync.WaitGroup
+	m0 := mallocs()
 	stop := time.Now().Add(duration)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -86,25 +104,47 @@ func runLiveRow(tab *stats.Table, c *quicksand.Cluster[int64], label string, dur
 		}(w)
 	}
 	wg.Wait()
+	allocs := mallocs() - m0
 	// Quiesce: let gossip spread the tail, then stop it.
 	deadline := time.Now().Add(2 * time.Second)
 	for !c.Converged() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	fsyncs = c.DurabilityStats().Fsyncs
+	fsyncs := c.DurabilityStats().Fsyncs
 	c.Close()
-	tab.AddRow(label, fmt.Sprint(total.Load()),
-		fmt.Sprintf("%.0f", float64(total.Load())/duration.Seconds()),
-		stats.Dur(c.M.AsyncLat.P50()), stats.Dur(c.M.AsyncLat.P99()),
-		fmt.Sprint(c.Converged()))
-	return total.Load(), fsyncs
+	return liveRowResult(tab, c, label, duration, total.Load(), allocs, fsyncs)
+}
+
+// liveRowResult renders one measured arm into the table and the JSON
+// result.
+func liveRowResult(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, accepted int64, allocs uint64, fsyncs int64) benchResult {
+	res := benchResult{
+		Arm:       label,
+		Accepted:  accepted,
+		OpsPerSec: float64(accepted) / duration.Seconds(),
+		P50Ns:     c.M.AsyncLat.P50(),
+		P99Ns:     c.M.AsyncLat.P99(),
+		Fsyncs:    fsyncs,
+		Converged: c.Converged(),
+	}
+	if accepted > 0 {
+		res.NsPerOp = float64(duration.Nanoseconds()) / float64(accepted)
+		res.AllocsPerOp = float64(allocs) / float64(accepted)
+		res.FsyncsPerOp = float64(fsyncs) / float64(accepted)
+	}
+	tab.AddRow(label, fmt.Sprint(accepted),
+		fmt.Sprintf("%.0f", res.OpsPerSec),
+		fmt.Sprintf("%.1f", res.AllocsPerOp),
+		stats.Dur(res.P50Ns), stats.Dur(res.P99Ns),
+		fmt.Sprint(res.Converged))
+	return res
 }
 
 // runLiveDurableBench is the -durable arm: the same worker loop on an
 // unsharded cluster, once per durability mode, against real files under
 // dir. The ops/fsync column is the group-commit amortization — how many
 // accepted operations shared each disk flush.
-func runLiveDurableBench(duration time.Duration, dir string) {
+func runLiveDurableBench(duration time.Duration, dir string, report *benchReport) {
 	// More workers than cores on purpose: riders must be waiting at the
 	// stop for the bus to fill. Blocked submitters cost no CPU; each one
 	// in flight during an fsync is an op that flush covers for free.
@@ -115,8 +155,8 @@ func runLiveDurableBench(duration time.Duration, dir string) {
 	fmt.Println("\nLIVE DURABLE: fsync cost and group-commit amortization (wall clock, this machine)")
 	tab := stats.NewTable(
 		fmt.Sprintf("live durable — rule-checked submits for %v per row, %d workers, 3 replicas, gossip every 1ms, stores under %s", duration, workers, dir),
-		"volatile keeps everything in RAM; group-commit fsyncs every accepted op but lets in-flight submits share flushes (§3.2's city bus); the batch row ingests through SubmitBatch, where a whole batch boards one flush; fsync-per-op pays one flush per op — the car-per-driver baseline group commit was invented to beat. Accepted results are never acknowledged before they are durable in any disk mode.",
-		"mode", "accepted", "ops/sec", "submit p50", "submit p99", "converged after quiesce", "fsyncs", "ops/fsync")
+		"volatile keeps everything in RAM; group-commit fsyncs every accepted op but lets in-flight submits share flushes (§3.2's city bus); the batch row ingests through SubmitBatch, where a whole batch boards one flush; the ingest row adds the single-writer pipeline, so the replica lock and journal append amortize too; fsync-per-op pays one flush per op — the car-per-driver baseline group commit was invented to beat. Accepted results are never acknowledged before they are durable in any disk mode.",
+		"mode", "accepted", "ops/sec", "allocs/op", "submit p50", "submit p99", "converged after quiesce", "fsyncs", "ops/fsync")
 	keys := make([]string, 256)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("k%03d", i)
@@ -129,23 +169,27 @@ func runLiveDurableBench(duration time.Duration, dir string) {
 		{"volatile", 0, nil},
 		{"group-commit", 0, []quicksand.Option{quicksand.WithDurability(filepath.Join(dir, "group"))}},
 		{"group-commit batch=256", 256, []quicksand.Option{quicksand.WithDurability(filepath.Join(dir, "group-batch"))}},
+		{"group-commit ingest=256", 256, []quicksand.Option{
+			quicksand.WithDurability(filepath.Join(dir, "group-ingest")), quicksand.WithIngestBatch(256)}},
 		{"fsync-per-op", 0, []quicksand.Option{quicksand.WithDurability(filepath.Join(dir, "everyop")), quicksand.WithFsyncEvery(-1)}},
 	}
 	for _, m := range modes {
-		for _, sub := range []string{"group", "group-batch", "everyop"} {
+		for _, sub := range []string{"group", "group-batch", "group-ingest", "everyop"} {
 			os.RemoveAll(filepath.Join(dir, sub))
 		}
 		c := quicksand.New[int64](liveApp{}, []quicksand.Rule[int64]{admitAll()},
 			append([]quicksand.Option{quicksand.WithGossipEvery(time.Millisecond)}, m.opts...)...)
-		var accepted, fsyncs int64
+		var res benchResult
 		if m.batch > 0 {
-			accepted, fsyncs = runLiveBatchRow(tab, c, m.name, duration, workers, m.batch, keys)
+			res = runLiveBatchRow(tab, c, m.name, duration, workers, m.batch, keys)
 		} else {
-			accepted, fsyncs = runLiveRow(tab, c, m.name, duration, workers, keys)
+			res = runLiveRow(tab, c, m.name, duration, workers, keys)
 		}
+		res.Table = "live-durable"
+		report.add(res)
 		row := &tab.Rows[len(tab.Rows)-1]
-		if fsyncs > 0 {
-			*row = append(*row, fmt.Sprint(fsyncs), fmt.Sprintf("%.1f", float64(accepted)/float64(fsyncs)))
+		if res.Fsyncs > 0 {
+			*row = append(*row, fmt.Sprint(res.Fsyncs), fmt.Sprintf("%.1f", float64(res.Accepted)/float64(res.Fsyncs)))
 		} else {
 			*row = append(*row, "0", "-")
 		}
@@ -155,9 +199,10 @@ func runLiveDurableBench(duration time.Duration, dir string) {
 
 // runLiveBatchRow is runLiveRow's bulk-ingest sibling: each worker loops
 // SubmitBatch over mixed-key batches instead of single-op Submits.
-func runLiveBatchRow(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, workers, batchSize int, keys []string) (accepted, fsyncs int64) {
+func runLiveBatchRow(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, workers, batchSize int, keys []string) benchResult {
 	var total atomic.Int64
 	var wg sync.WaitGroup
+	m0 := mallocs()
 	stop := time.Now().Add(duration)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -183,15 +228,12 @@ func runLiveBatchRow(tab *stats.Table, c *quicksand.Cluster[int64], label string
 		}(w)
 	}
 	wg.Wait()
+	allocs := mallocs() - m0
 	deadline := time.Now().Add(2 * time.Second)
 	for !c.Converged() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	fsyncs = c.DurabilityStats().Fsyncs
+	fsyncs := c.DurabilityStats().Fsyncs
 	c.Close()
-	tab.AddRow(label, fmt.Sprint(total.Load()),
-		fmt.Sprintf("%.0f", float64(total.Load())/duration.Seconds()),
-		stats.Dur(c.M.AsyncLat.P50()), stats.Dur(c.M.AsyncLat.P99()),
-		fmt.Sprint(c.Converged()))
-	return total.Load(), fsyncs
+	return liveRowResult(tab, c, label, duration, total.Load(), allocs, fsyncs)
 }

@@ -14,6 +14,10 @@
 //	quicksand-bench -live -durable DIR
 //	                             # add the durability arm: ops/sec, fsyncs, and
 //	                             # group-commit amortization against real files in DIR
+//	quicksand-bench -live -json FILE
+//	                             # additionally write every measured arm (ops/s,
+//	                             # ns/op, allocs/op, fsyncs/op) as JSON to FILE —
+//	                             # the format BENCH_live.json and the CI artifact use
 package main
 
 import (
@@ -34,15 +38,24 @@ func main() {
 		liveDur = flag.Duration("liveduration", 500*time.Millisecond, "sampling window per row of the -live table")
 		shards  = flag.Int("shards", 4, "max shard count for the -live scaling curve, and the sharded arm of E14 in sim mode")
 		durable = flag.String("durable", "", "with -live: directory for per-replica disk stores; adds the durability/group-commit table")
+		jsonOut = flag.String("json", "", "with -live: also write machine-readable results (ops/s, ns/op, allocs/op, fsyncs/op per arm) to this file")
 	)
 	flag.Parse()
 
 	experiment.SetShards(*shards)
 
 	if *live {
-		runLiveBench(*liveDur, *shards)
+		report := newBenchReport(*liveDur)
+		runLiveBench(*liveDur, *shards, report)
 		if *durable != "" {
-			runLiveDurableBench(*liveDur, *durable)
+			runLiveDurableBench(*liveDur, *durable, report)
+		}
+		if *jsonOut != "" {
+			if err := report.write(*jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "writing", *jsonOut, "failed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %d results to %s\n", len(report.Results), *jsonOut)
 		}
 		return
 	}

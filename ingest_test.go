@@ -1,0 +1,361 @@
+package quicksand_test
+
+// The acceptance suite for the batched single-writer ingest pipeline
+// (WithIngestBatch): batched ingest must be observationally equivalent to
+// the per-op path — same accepted operations, same declines, same
+// apologies, same final states — on both transports and at every batch
+// size, and the lock-free read path must stay safe under concurrent
+// ingest and kill/recover churn. Experiment E16 is the deterministic
+// sim-transport sibling of these tests.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	quicksand "repro"
+)
+
+// ingestWorkload drives one cluster through a schedule whose outcomes
+// are timing-independent: every account is seeded and converged before
+// any check clears, each key's checks are always submitted at the same
+// replica (so the local guess covers them identically in every run), and
+// two deliberate overdraft pairs — concurrent clears of the same seeded
+// account at different replicas, each locally covered — produce exactly
+// two standing violations once gossip merges them. It returns the
+// per-op results, the converged states, and the apology total.
+func ingestWorkload(t *testing.T, h harness, opts ...quicksand.Option) ([]quicksand.Result, []balances, int) {
+	t.Helper()
+	c, d := h.newCluster(t, opts...)
+	defer c.Close()
+	ctx := context.Background()
+	const nKeys = 12
+	key := func(k int) string { return fmt.Sprintf("acct-%02d", k) }
+	repOf := func(k int) int { return k % c.Replicas() }
+
+	// Seed and converge, so every replica's guess covers what follows.
+	for k := 0; k < nKeys; k++ {
+		op := quicksand.NewOp("deposit", key(k), 1000)
+		op.ID = quicksand.OpID(fmt.Sprintf("seed-%02d", k))
+		if res, err := c.Submit(ctx, repOf(k), op); err != nil || !res.Accepted {
+			t.Fatalf("seed %d = %+v, %v", k, res, err)
+		}
+	}
+	d.converge(t, c)
+
+	var results []quicksand.Result
+	// Single submits: deposits, covered checks, and a decline per key (a
+	// check far beyond the balance, refused by the local guess).
+	for i := 0; i < 6*nKeys; i++ {
+		k := i % nKeys
+		kind, arg := "deposit", int64(10+i%7)
+		switch i % 3 {
+		case 1:
+			kind, arg = "clear-check", int64(1+i%5)
+		case 2:
+			if i%6 == 5 {
+				kind, arg = "clear-check", 1_000_000 // always declined
+			}
+		}
+		op := quicksand.NewOp(kind, key(k), arg)
+		op.ID = quicksand.OpID(fmt.Sprintf("one-%03d", i))
+		res, err := c.Submit(ctx, repOf(k), op)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		results = append(results, res)
+	}
+	// A bulk batch with mixed keys, exercising the vectorized path (and
+	// the scatter path on sharded clusters).
+	batch := make([]quicksand.Op, 4*nKeys)
+	for i := range batch {
+		k := i % nKeys
+		batch[i] = quicksand.NewOp("deposit", key(k), int64(i+1))
+		batch[i].ID = quicksand.OpID(fmt.Sprintf("blk-%03d", i))
+	}
+	bres, err := c.SubmitBatch(ctx, 0, batch)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	results = append(results, bres...)
+	// Idempotent retries of work already accepted.
+	for _, id := range []string{"one-000", "blk-000", "seed-00"} {
+		op := quicksand.NewOp("deposit", key(0), 999)
+		op.ID = quicksand.OpID(id)
+		res, err := c.Submit(ctx, 0, op)
+		if err != nil || !res.Accepted {
+			t.Fatalf("retry %s = %+v, %v", id, res, err)
+		}
+		results = append(results, res)
+	}
+	// A mixed-policy batch: clears coordinate (ByKind), deposits guess.
+	// The sync clear sits between two async deposits on the same key, so
+	// it must observe the first deposit's absorption (strictly greater
+	// Lamport stamp) — a coordinated op never overtakes a queued guess.
+	mixed := []quicksand.Op{
+		quicksand.NewOp("deposit", key(2), 7),
+		quicksand.NewOp("clear-check", key(2), 3),
+		quicksand.NewOp("deposit", key(2), 11),
+		quicksand.NewOp("clear-check", key(3), 5),
+		quicksand.NewOp("deposit", key(4), 9),
+	}
+	for i := range mixed {
+		mixed[i].ID = quicksand.OpID(fmt.Sprintf("mix-%02d", i))
+	}
+	mres, err := c.SubmitBatch(ctx, 0, mixed, quicksand.WithPolicy(quicksand.ByKind("clear-check")))
+	if err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	for i, res := range mres {
+		if !res.Accepted {
+			t.Fatalf("mixed op %d declined: %s", i, res.Reason)
+		}
+	}
+	if mres[1].Decision != quicksand.Sync || mres[0].Decision != quicksand.Async {
+		t.Fatalf("mixed decisions = %v/%v, want async/sync", mres[0].Decision, mres[1].Decision)
+	}
+	if mres[1].Op.Lam <= mres[0].Op.Lam {
+		t.Fatalf("sync clear stamped Lam %d, not after the queued deposit's %d — it overtook the guess",
+			mres[1].Op.Lam, mres[0].Op.Lam)
+	}
+	results = append(results, mres...)
+	// The deliberate overdraft pairs: accounts 0 and 1 hold well under
+	// 2×600, yet each clear is covered by its submitting replica's local
+	// guess, so both are accepted everywhere and the merged truth goes
+	// negative — a standing violation discovered at convergence.
+	for _, k := range []int{0, 1} {
+		bal := c.ShardStates(c.ShardOf(key(k)))[0][key(k)]
+		half := bal/2 + 100 // covered alone, overdrawn together
+		for r := 0; r < 2; r++ {
+			op := quicksand.NewOp("clear-check", key(k), half)
+			op.ID = quicksand.OpID(fmt.Sprintf("odr-%d-%d", k, r))
+			res, err := c.Submit(ctx, r, op)
+			if err != nil || !res.Accepted {
+				t.Fatalf("overdraft pair %d/%d = %+v, %v", k, r, res, err)
+			}
+			results = append(results, res)
+		}
+	}
+	d.converge(t, c)
+	// One more fold everywhere so every replica has swept the merged
+	// truth for violations.
+	states := c.States()
+	return results, states, c.Apologies.Total()
+}
+
+// TestBatchedIngestMatchesPerOp is the pipeline's differential
+// acceptance test: the same schedule run with per-op ingest and with
+// batch sizes 1, 64, and 1024 must produce identical per-op outcomes,
+// identical converged states, and identical apologies — on both
+// transports, sharded and unsharded.
+func TestBatchedIngestMatchesPerOp(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, h harness) {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+				base := []quicksand.Option{quicksand.WithShards(shards)}
+				wantRes, wantStates, wantApologies := ingestWorkload(t, h, base...)
+				for _, batch := range []int{1, 64, 1024} {
+					gotRes, gotStates, gotApologies := ingestWorkload(t, h,
+						append([]quicksand.Option{quicksand.WithIngestBatch(batch)}, base...)...)
+					if len(gotRes) != len(wantRes) {
+						t.Fatalf("batch=%d: %d results, want %d", batch, len(gotRes), len(wantRes))
+					}
+					for i := range wantRes {
+						if gotRes[i].Accepted != wantRes[i].Accepted ||
+							gotRes[i].Reason != wantRes[i].Reason ||
+							gotRes[i].Decision != wantRes[i].Decision ||
+							gotRes[i].Op.ID != wantRes[i].Op.ID {
+							t.Fatalf("batch=%d: result %d diverged: %+v vs per-op %+v",
+								batch, i, gotRes[i], wantRes[i])
+						}
+					}
+					if len(gotStates) != len(wantStates) {
+						t.Fatalf("batch=%d: %d states, want %d", batch, len(gotStates), len(wantStates))
+					}
+					for i := range wantStates {
+						if len(gotStates[i]) != len(wantStates[i]) {
+							t.Fatalf("batch=%d: replica %d key sets differ", batch, i)
+						}
+						for acct, bal := range wantStates[i] {
+							if gotStates[i][acct] != bal {
+								t.Fatalf("batch=%d: replica %d diverged on %s: %d vs per-op %d",
+									batch, i, acct, gotStates[i][acct], bal)
+							}
+						}
+					}
+					if gotApologies != wantApologies {
+						t.Fatalf("batch=%d: %d apologies, want %d", batch, gotApologies, wantApologies)
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestIngestWorkloadSurfacesApologies pins that the differential
+// workload is not vacuous: its overdraft pairs really do produce
+// apologies, so the equality assertion above compares something.
+func TestIngestWorkloadSurfacesApologies(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, h harness) {
+		_, _, apologies := ingestWorkload(t, h, quicksand.WithIngestBatch(64))
+		if apologies != 2 {
+			t.Fatalf("workload produced %d apologies, want 2", apologies)
+		}
+	})
+}
+
+// TestFoldEnginesAgreeUnderBatchedIngest extends TestFoldEnginesAgree
+// across the pipeline: the checkpointed fold engine must derive the same
+// states whether entries arrive per-op or in batches of 1, 64, or 1024,
+// and the full-refold oracle must agree with all of them.
+func TestFoldEnginesAgreeUnderBatchedIngest(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, h harness) {
+		workload := func(opts ...quicksand.Option) []balances {
+			c, d := h.newCluster(t, opts...)
+			defer c.Close()
+			ctx := context.Background()
+			batch := make([]quicksand.Op, 60)
+			for i := range batch {
+				batch[i] = quicksand.NewOp("deposit", fmt.Sprintf("acct-%d", i%5), int64(10+i))
+				batch[i].ID = quicksand.OpID(fmt.Sprintf("wk-%03d", i))
+			}
+			if _, err := c.SubmitBatch(ctx, 0, batch); err != nil {
+				t.Fatal(err)
+			}
+			d.converge(t, c)
+			return c.States()
+		}
+		want := workload(quicksand.WithFullRefold())
+		for _, arm := range [][]quicksand.Option{
+			nil,
+			{quicksand.WithIngestBatch(1)},
+			{quicksand.WithIngestBatch(64)},
+			{quicksand.WithIngestBatch(1024)},
+			{quicksand.WithIngestBatch(64), quicksand.WithFullRefold()},
+		} {
+			got := workload(arm...)
+			for i := range want {
+				for acct, bal := range want[i] {
+					if got[i][acct] != bal {
+						t.Fatalf("arm %v: replica %d diverged on %s: %d, oracle %d",
+							arm, i, acct, got[i][acct], bal)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestConcurrentReadersDuringIngest is the lock-free read acceptance
+// test, meant for -race: reader goroutines hammer State, ShardStates,
+// and OpCount while batched writers ingest and one replica is
+// kill/recover churned. Readers must never observe a torn fold snapshot
+// (the race detector would flag a map read racing a fold) and never
+// observe a state the engine later mutates in place — every snapshot
+// must still sum consistently after the fact.
+func TestConcurrentReadersDuringIngest(t *testing.T) {
+	dir := t.TempDir()
+	c := quicksand.New[balances](exampleApp{}, nil,
+		quicksand.WithIngestBatch(64),
+		quicksand.WithGossipEvery(time.Millisecond),
+		quicksand.WithDurability(dir),
+		quicksand.WithSnapshotEvery(256))
+	defer c.Close()
+	ctx := context.Background()
+
+	const (
+		writers   = 4
+		perWriter = 30
+		batchSize = 25
+		readers   = 4
+	)
+	var stop atomic.Bool
+	var readWG, writeWG sync.WaitGroup
+
+	// Readers: never touch the replica lock on the fast path, never see a
+	// torn fold (the race detector would flag a map read racing a fold),
+	// and — this being a deposit-only workload — never see a negative
+	// balance through any snapshot.
+	for rd := 0; rd < readers; rd++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for !stop.Load() {
+				for i := 0; i < c.Replicas(); i++ {
+					st := c.Replica(i).State()
+					for acct, bal := range st {
+						if bal < 0 {
+							t.Errorf("negative balance %d for %s in a deposit-only workload", bal, acct)
+							return
+						}
+					}
+					_ = c.Replica(i).OpCount()
+				}
+				_ = c.ShardStates(0)
+			}
+		}()
+	}
+
+	// The churn: kill and recover replica 2 while ingest runs at 0 and 1.
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for !stop.Load() {
+			c.Kill(2)
+			time.Sleep(2 * time.Millisecond)
+			if err := c.Recover(ctx, 2); err != nil {
+				t.Errorf("recover: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Writers: deposits with fixed IDs so kills can never double-apply.
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				batch := make([]quicksand.Op, batchSize)
+				for j := range batch {
+					batch[j] = quicksand.NewOp("deposit", fmt.Sprintf("acct-%d", j%7), 1)
+					batch[j].ID = quicksand.OpID(fmt.Sprintf("w%d-%d-%d", w, i, j))
+				}
+				if _, err := c.SubmitBatch(ctx, w%2, batch); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	writeWG.Wait()
+	stop.Store(true)
+	readWG.Wait()
+	if t.Failed() {
+		return
+	}
+	// Everything accepted at a live replica must converge; replica 2 may
+	// have come back mid-stream, so give gossip a window to refill it.
+	deadline := time.Now().Add(10 * time.Second)
+	for !c.Converged() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !c.Converged() {
+		t.Fatal("cluster did not converge after churn")
+	}
+	// The submitting replicas never died, so no accepted deposit was
+	// lost: the converged total must cover every acknowledged batch.
+	var want int64 = writers * perWriter * batchSize
+	var got int64
+	for _, bal := range c.Replica(0).State() {
+		got += bal
+	}
+	if got != want {
+		t.Fatalf("converged total = %d, want %d", got, want)
+	}
+}

@@ -48,19 +48,34 @@ type Entry struct {
 	Ref  uniq.ID // operation or apology this line concerns
 }
 
+// ledgerBlock is the entry capacity of one ledger storage block.
+const ledgerBlock = 4096
+
 // Ledger is an append-only record of memories, guesses, and apologies for
 // one replica. The zero value is ready to use; Ledgers are safe for
 // concurrent use.
+//
+// Entries live in fixed-size blocks rather than one growing slice: a
+// replica under sustained ingest records several lines per operation
+// forever, and doubling a multi-megabyte slice re-zeroes and re-copies
+// everything it ever remembered. Blocks make Record amortized O(1) with
+// no large copies, at the price of a concatenating Entries().
 type Ledger struct {
-	mu      sync.Mutex
-	entries []Entry
-	counts  [3]int
+	mu     sync.Mutex
+	blocks [][]Entry
+	n      int
+	counts [3]int
 }
 
 // Record appends a line.
 func (l *Ledger) Record(at sim.Time, kind Kind, who, what string, ref uniq.ID) {
 	l.mu.Lock()
-	l.entries = append(l.entries, Entry{At: at, Kind: kind, Who: who, What: what, Ref: ref})
+	if len(l.blocks) == 0 || len(l.blocks[len(l.blocks)-1]) == ledgerBlock {
+		l.blocks = append(l.blocks, make([]Entry, 0, ledgerBlock))
+	}
+	last := len(l.blocks) - 1
+	l.blocks[last] = append(l.blocks[last], Entry{At: at, Kind: kind, Who: who, What: what, Ref: ref})
+	l.n++
 	l.counts[kind]++
 	l.mu.Unlock()
 }
@@ -76,21 +91,26 @@ func (l *Ledger) Count(kind Kind) int {
 func (l *Ledger) Entries() []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Entry(nil), l.entries...)
+	out := make([]Entry, 0, l.n)
+	for _, b := range l.blocks {
+		out = append(out, b...)
+	}
+	return out
 }
 
 // Len reports the total number of lines.
 func (l *Ledger) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.entries)
+	return l.n
 }
 
 // Reset wipes the ledger. A ledger is per-replica RAM: a hard crash of
 // its replica destroys it, and recovery starts a fresh one.
 func (l *Ledger) Reset() {
 	l.mu.Lock()
-	l.entries = nil
+	l.blocks = nil
+	l.n = 0
 	l.counts = [3]int{}
 	l.mu.Unlock()
 }

@@ -1,0 +1,565 @@
+package core
+
+// The batched single-writer ingest pipeline (WithIngestBatch).
+//
+// The per-operation submit path pays one mutex acquisition, one fold
+// step, one store chunk, and one commit callback per operation, all
+// serialized behind the replica's mu. The pipeline amortizes every one of
+// those: submitters enqueue into a bounded MPSC ring and a dedicated
+// drain — a goroutine per replica on the live transport, the calling
+// goroutine on the deterministic simulator — takes the replica lock once
+// per batch, runs admission and fold steps across the whole batch,
+// appends every accepted entry to the in-memory journal and the durable
+// store in one vectorized call (one journal write, one flush cover), and
+// resolves all the batch's results with one commit callback fan-out.
+// Group commit for the lock, in exactly the §3.2 city-bus sense the
+// store already applies to fsync.
+//
+// Observational equivalence with the per-op path is the contract: the
+// batch is processed in enqueue order, each operation admission-checked
+// against the state including every earlier acceptance (the fold
+// checkpoint advances inside the batch), duplicates re-accepted only
+// once the covering flush lands, declines resolved immediately, accepted
+// results resolved only after durability. The differential tests (E16,
+// TestBatchedIngestMatchesPerOp) pin this.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apology"
+	"repro/internal/oplog"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// ingestItem is one queued submit: the operation (ingress identity
+// already assigned by dispatch) plus where its Result goes — either a
+// single-submit callback or a slot in a shared batch sink.
+type ingestItem struct {
+	op    oplog.Entry
+	emit  func(Result) // single-submit completion; nil when sink is set
+	sink  *ingestSink
+	idx   int32
+	start sim.Time
+	sync  bool // policy-coordinated: initiated in queue order, never batch-absorbed
+}
+
+// finish resolves the item with res, exactly once.
+func (it *ingestItem) finish(res Result) {
+	if it.sink != nil {
+		it.sink.deliver(it.idx, res)
+		return
+	}
+	it.emit(res)
+}
+
+// ingestQueue is a bounded multi-producer single-consumer ring buffer.
+// Producers block when the ring is full — backpressure, so a burst of
+// submitters cannot outrun the drain by more than the ring — and the
+// consumer pops up to a whole batch under one lock acquisition.
+//
+// Inline replicas (no dedicated writer goroutine) use the unbounded
+// variant instead: the enqueueing goroutine is itself the drainer, so
+// blocking it for backpressure could only deadlock — in particular when
+// a completion callback re-enters Submit while its own outer drain is
+// already on the stack. There the ring grows as needed; it only ever
+// accumulates what one call chain submits before draining.
+type ingestQueue struct {
+	mu        sync.Mutex
+	notEmpty  sync.Cond
+	notFull   sync.Cond
+	buf       []ingestItem
+	head      int // next position to pop
+	n         int // occupied slots
+	closed    bool
+	unbounded bool // grow instead of refusing/blocking when full
+}
+
+func newIngestQueue(capacity int, unbounded bool) *ingestQueue {
+	q := &ingestQueue{buf: make([]ingestItem, capacity), unbounded: unbounded}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// growLocked widens the ring to hold at least need items, preserving
+// order. Caller holds mu; only unbounded queues grow.
+func (q *ingestQueue) growLocked(need int) {
+	newCap := 2 * len(q.buf)
+	if newCap < need {
+		newCap = need
+	}
+	nb := make([]ingestItem, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// putAll enqueues the items in order, blocking while the ring is full,
+// and reports how many it enqueued — fewer than len(items) only when
+// the queue was closed mid-call. The consumer still drains and resolves
+// everything enqueued before the close, so the caller owns exactly the
+// untaken suffix items[taken:]; resolving more would double-deliver.
+// One call's items are contiguous in the ring per chunk and never
+// reordered, which is what preserves per-key submission order through
+// the pipeline.
+func (q *ingestQueue) putAll(items []ingestItem) (taken int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for taken < len(items) {
+		for q.n == len(q.buf) && !q.closed {
+			q.notFull.Wait()
+		}
+		if q.closed {
+			return taken
+		}
+		take := len(q.buf) - q.n
+		if take > len(items)-taken {
+			take = len(items) - taken
+		}
+		for _, it := range items[taken : taken+take] {
+			q.buf[(q.head+q.n)%len(q.buf)] = it
+			q.n++
+		}
+		taken += take
+		q.notEmpty.Signal()
+	}
+	return taken
+}
+
+// tryPutAll enqueues as many leading items as fit right now, without
+// blocking, and reports how many it took (0 when full or closed). The
+// inline drain uses it: a single-goroutine world must interleave filling
+// and draining rather than wait for a consumer that does not exist.
+func (q *ingestQueue) tryPutAll(items []ingestItem) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return -1
+	}
+	if q.unbounded && q.n+len(items) > len(q.buf) {
+		q.growLocked(q.n + len(items))
+	}
+	take := len(q.buf) - q.n
+	if take > len(items) {
+		take = len(items)
+	}
+	for _, it := range items[:take] {
+		q.buf[(q.head+q.n)%len(q.buf)] = it
+		q.n++
+	}
+	return take
+}
+
+// drain blocks until at least one item is queued (or the queue closes),
+// then moves up to max items into dst and returns it. ok is false once
+// the queue is closed AND empty — the consumer's signal to exit.
+func (q *ingestQueue) drain(dst []ingestItem, max int) (_ []ingestItem, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		if q.closed {
+			return dst, false
+		}
+		q.notEmpty.Wait()
+	}
+	return q.popLocked(dst, max), true
+}
+
+// tryDrain is drain without the wait: it pops whatever is queued, up to
+// max, and returns immediately.
+func (q *ingestQueue) tryDrain(dst []ingestItem, max int) []ingestItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return dst
+	}
+	return q.popLocked(dst, max)
+}
+
+func (q *ingestQueue) popLocked(dst []ingestItem, max int) []ingestItem {
+	take := q.n
+	if take > max {
+		take = max
+	}
+	for i := 0; i < take; i++ {
+		slot := &q.buf[(q.head+i)%len(q.buf)]
+		dst = append(dst, *slot)
+		*slot = ingestItem{} // release references
+	}
+	q.head = (q.head + take) % len(q.buf)
+	q.n -= take
+	q.notFull.Broadcast()
+	return dst
+}
+
+// empty reports whether nothing is currently queued.
+func (q *ingestQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n == 0
+}
+
+// close wakes every producer and the consumer; the consumer drains what
+// remains and exits.
+func (q *ingestQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// ingestSink fans one SubmitBatch's results into a shared slice with a
+// single completion — no per-operation closure, which is most of the
+// batch path's allocation savings. Items for different shard groups may
+// share one sink; their idx ranges are disjoint.
+type ingestSink struct {
+	results []Result
+	pending atomic.Int64
+	done    func() // fires exactly once, when every result has landed
+}
+
+// deliver lands one result in slot i and fires the completion when it is
+// the last one outstanding.
+func (s *ingestSink) deliver(i int32, res Result) {
+	s.results[i] = res
+	if s.pending.Add(-1) == 0 {
+		s.done()
+	}
+}
+
+// enqueueIngest hands one stamped operation to the replica's pipeline.
+// On an inline replica (any non-live transport) the calling goroutine
+// immediately drains the queue, so the submit's effects — and, with an
+// inline store, its completion — happen before enqueueIngest returns,
+// keeping the simulator deterministic. It reports false when the queue
+// has been closed (the cluster shut down) and the item was not taken.
+func (r *Replica[S]) enqueueIngest(it ingestItem) bool {
+	return r.enqueueIngestAll([]ingestItem{it}) == 1
+}
+
+// enqueueIngestAll hands a slice of stamped operations to the pipeline,
+// preserving order, and reports how many items it handed over — fewer
+// than all of them only when the queue closed mid-call, in which case
+// the caller must resolve exactly the untaken suffix (the taken prefix
+// is drained and resolved by the consumer). Inline replicas interleave
+// filling and draining so arbitrarily large batches cannot deadlock the
+// single goroutine.
+func (r *Replica[S]) enqueueIngestAll(items []ingestItem) (taken int) {
+	if r.ingestInline {
+		// The inline queue is unbounded, so this takes everything (or
+		// nothing, once closed) — no blocking, no spin, even when a
+		// completion callback re-enters with its own bulk submit while
+		// the outer drain holds drainMu.
+		taken = r.ingest.tryPutAll(items)
+		if taken < 0 {
+			return 0
+		}
+		r.drainInline()
+		return taken
+	}
+	return r.ingest.putAll(items)
+}
+
+// ingestLoop is the single writer: it drains the ring in batches of at
+// most the configured size and ingests each batch under one lock
+// acquisition. One goroutine per replica on the live transport; exits
+// when the queue is closed and empty.
+func (r *Replica[S]) ingestLoop() {
+	defer r.c.ingestWG.Done()
+	max := r.c.cfg.ingestBatch
+	batch := make([]ingestItem, 0, max)
+	for {
+		var ok bool
+		batch, ok = r.ingest.drain(batch[:0], max)
+		if len(batch) > 0 {
+			r.ingestBatch(batch)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// drainInline is the simulator's (and any custom transport's) drain:
+// the enqueueing goroutine processes everything queued, in batches,
+// before returning. At most one drainer is ever active per replica
+// (drainMu), so a concurrent custom transport cannot interleave two
+// goroutines' segments and invert queue order; a goroutine that loses
+// the TryLock race — or that re-enters from a completion callback while
+// its own outer drain holds the lock — simply leaves its items to the
+// active drainer, which re-checks the ring after releasing so nothing
+// is ever stranded.
+func (r *Replica[S]) drainInline() {
+	max := r.c.cfg.ingestBatch
+	var batch []ingestItem
+	for {
+		if !r.drainMu.TryLock() {
+			return // the active drainer's post-release re-check covers us
+		}
+		for {
+			batch = r.ingest.tryDrain(batch[:0], max)
+			if len(batch) == 0 {
+				break
+			}
+			r.ingestBatch(batch)
+		}
+		r.drainMu.Unlock()
+		if r.ingest.empty() {
+			return
+		}
+	}
+}
+
+// ingestBatch processes one drained batch in strict queue order,
+// splitting it at policy-coordinated items: runs of async submits are
+// absorbed as vectorized segments, and each sync item is initiated (its
+// local admission taken, its coordination round fired) exactly where it
+// sat between them — so a coordinated op observes every earlier
+// acceptance and never overtakes a queued guess on the same key, just
+// as sequential per-op dispatch behaves. Coordination itself is
+// asynchronous; the writer never blocks on its round trips.
+func (r *Replica[S]) ingestBatch(items []ingestItem) {
+	for len(items) > 0 {
+		k := 0
+		for k < len(items) && !items[k].sync {
+			k++
+		}
+		if k > 0 {
+			r.ingestSegment(items[:k])
+		}
+		if k < len(items) {
+			it := items[k]
+			r.c.dispatchDirect(r, it.op, policy.Sync, it.finish)
+			k++
+		}
+		items = items[k:]
+	}
+}
+
+// ingestSegment absorbs one run of asynchronous submits under a single
+// replica-lock acquisition: Lamport stamping, duplicate detection,
+// admission against the advancing fold, set/journal/store appends — the
+// store staged once for the whole segment — then one snapshot decision,
+// one fold-snapshot publication, and one commit fan-out resolving every
+// result.
+func (r *Replica[S]) ingestSegment(items []ingestItem) {
+	c, g := r.c, r.g
+	r.mu.Lock()
+	if r.node.Crashed() {
+		// A dead process absorbs nothing. No metrics, matching the per-op
+		// dispatch path's early "replica down" return.
+		r.mu.Unlock()
+		for i := range items {
+			items[i].finish(Result{Op: items[i].op, Reason: "replica down"})
+		}
+		return
+	}
+	if r.store != nil {
+		// The commit fan-out runs on the store's flusher after this call
+		// returns, but the caller (the ingest loop) reuses its batch buffer
+		// for the next drain. Give the fan-out its own copy of the items.
+		items = append([]ingestItem(nil), items...)
+	}
+	const (
+		outAccepted = iota // entry absorbed; resolves with the batch commit
+		outDup             // idempotent re-accept; resolves with the batch commit
+		outDeclined        // refused by a rule; resolves immediately
+	)
+	outcomes := make([]int8, len(items))
+	var reasons []string
+	accepted := make([]oplog.Entry, 0, len(items))
+	for i := range items {
+		op := items[i].op
+		if op.Lam == 0 {
+			// Lamport ingress stamp, exactly as the per-op path: the new op
+			// sorts after everything this replica has seen — including the
+			// entries accepted earlier in this same batch.
+			op.Lam = r.lamport + 1
+		}
+		items[i].op = op // carry the stamp into the Result, as dispatch does
+		if r.ops.Contains(op.ID) {
+			outcomes[i] = outDup
+			continue
+		}
+		if c.hasAdmit {
+			state := r.stateLocked() // folds earlier batch acceptances in
+			declined := false
+			for _, rule := range c.rules {
+				if rule.Admit != nil && !rule.Admit(state, op) {
+					outcomes[i] = outDeclined
+					reasons = append(reasons, "declined by rule "+rule.Name)
+					declined = true
+					break
+				}
+			}
+			if declined {
+				continue
+			}
+		}
+		r.addLocked(op)
+		accepted = append(accepted, op)
+	}
+	if len(r.gossipPeers) > 0 {
+		// One vectorized append covers the whole batch; positions stay in
+		// lockstep with the store staging below.
+		r.journal.AppendAll(accepted)
+	}
+	var end int
+	st := r.store
+	if len(accepted) > 0 {
+		end = r.stageLocked(accepted)
+	} else if st != nil {
+		// Only duplicates (if any): their originals may still be aboard an
+		// unlanded flush, so re-accept no earlier than the current tail.
+		end = st.End()
+	}
+	var snap func()
+	if len(accepted) > 0 {
+		snap = r.maybeSnapshotLocked()
+		if c.snapFn != nil {
+			// Fold the batch in and publish the immutable snapshot before
+			// any result resolves, so lock-free readers observe every write
+			// that has been acknowledged to its submitter. One Step per
+			// entry — the same amortized cost the per-op path pays, minus
+			// the per-op locking around it.
+			r.foldLocked()
+			r.publishLocked()
+		}
+	}
+	r.mu.Unlock()
+	if snap != nil {
+		snap()
+	}
+	// Declines carry no recorded work: resolve them immediately, like the
+	// per-op path — which also stamps a latency on declined Results.
+	if len(reasons) > 0 {
+		now := c.tr.Now()
+		reasonIdx := 0
+		for i := range items {
+			if outcomes[i] == outDeclined {
+				c.M.Declined.Inc()
+				g.M.Declined.Inc()
+				items[i].finish(Result{Op: items[i].op, Reason: reasons[reasonIdx],
+					Latency: now.Sub(items[i].start)})
+				reasonIdx++
+			}
+		}
+	}
+	if len(accepted) == 0 && !hasOutcome(outcomes, outDup) {
+		return // every item was declined; nothing awaits durability
+	}
+	finish := func(ok bool) {
+		if !ok {
+			// The batch never became durable: the replica crashed (or its
+			// disk broke the durability contract) first. Fail fast; nothing
+			// was recorded, nothing may be acknowledged.
+			r.failFast()
+			for i := range items {
+				if outcomes[i] == outDeclined {
+					continue
+				}
+				c.M.Declined.Inc()
+				g.M.Declined.Inc()
+				items[i].finish(Result{Op: items[i].op, Reason: "replica crashed before the write was durable"})
+			}
+			return
+		}
+		now := c.tr.Now()
+		// Ledger descriptions are memoized across runs of the same
+		// (kind, key): a bulk batch of like operations builds its two
+		// What strings once instead of twice per op.
+		var memo whatMemo
+		var memoWhat, guessWhat string
+		for i := range items {
+			if outcomes[i] != outAccepted {
+				continue
+			}
+			op := items[i].op
+			if memo.fresh(op.Kind, op.Key) {
+				memoWhat = "local " + op.Kind + " " + op.Key
+				guessWhat = "accepted " + op.Kind + " " + op.Key + " on local knowledge"
+			}
+			r.Ledger.Record(now, apology.Memory, r.id, memoWhat, op.ID)
+			r.Ledger.Record(now, apology.Guess, r.id, guessWhat, op.ID)
+		}
+		if len(accepted) > 0 {
+			r.sweepViolations()
+		}
+		for i := range items {
+			if outcomes[i] == outDeclined {
+				continue
+			}
+			res := Result{Accepted: true, Op: items[i].op, Decision: policy.Async}
+			c.M.Accepted.Inc()
+			g.M.Accepted.Inc()
+			if outcomes[i] == outAccepted {
+				// Duplicates carry no latency and are not sampled, matching
+				// the per-op idempotent re-accept path.
+				res.Latency = now.Sub(items[i].start)
+				c.M.AsyncLat.AddDur(res.Latency)
+				g.M.AsyncLat.AddDur(res.Latency)
+			}
+			items[i].finish(res)
+		}
+	}
+	if st == nil {
+		finish(true)
+	} else {
+		st.Commit(end, finish)
+	}
+	if len(accepted) > 0 && c.cfg.gossipEvery > 0 {
+		// Coalesced gossip wake: at most one nudge per batch, and only for
+		// peers whose unacknowledged suffix has grown to a full batch —
+		// the nudge is a backlog limiter, not a latency path. Light load
+		// leaves gossip entirely to the ticker; heavy ingest ships a
+		// batch-sized suffix as soon as one exists, so per-nudge cost is
+		// amortized over at least ingestBatch entries.
+		r.nudgeGossip()
+	}
+}
+
+func hasOutcome(outcomes []int8, want int8) bool {
+	for _, o := range outcomes {
+		if o == want {
+			return true
+		}
+	}
+	return false
+}
+
+// nudgeGossip pushes the journal suffix toward any ring peer whose
+// unacknowledged backlog has reached a full ingest batch, without
+// waiting for the next scheduled round. Peers below the threshold (and
+// peers with a push already in flight) are left to the ticker.
+func (r *Replica[S]) nudgeGossip() {
+	threshold := r.c.cfg.ingestBatch
+	var due [2]string // a ring replica has at most two gossip peers
+	nDue := 0
+	r.mu.Lock()
+	jlen := r.journal.Len()
+	base := r.journal.Base()
+	for _, peer := range r.gossipPeers {
+		if nDue == len(due) {
+			break
+		}
+		from := r.sentTo[peer.id]
+		if from < base {
+			from = base
+		}
+		if jlen-from >= threshold && !r.pushing[peer.id] {
+			due[nDue] = peer.id
+			nDue++
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range due[:nDue] {
+		if r.c.tr.Reachable(r.id, id) {
+			r.pushTo(id)
+		}
+	}
+}

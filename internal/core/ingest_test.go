@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/oplog"
+	"repro/internal/uniq"
+)
+
+// The ingestQueue unit suite: FIFO order through wraparound, bounded
+// backpressure, close semantics, and the non-blocking inline variants.
+
+func item(n int) ingestItem {
+	return ingestItem{op: oplog.Entry{ID: uniq.ID(fmt.Sprintf("it-%04d", n))}}
+}
+
+func drainIDs(t *testing.T, q *ingestQueue, max int) []string {
+	t.Helper()
+	batch, ok := q.drain(nil, max)
+	if !ok {
+		t.Fatal("drain reported closed")
+	}
+	ids := make([]string, len(batch))
+	for i, it := range batch {
+		ids[i] = string(it.op.ID)
+	}
+	return ids
+}
+
+func TestIngestQueueFIFOThroughWraparound(t *testing.T) {
+	q := newIngestQueue(4, false)
+	next := 0
+	popped := 0
+	for round := 0; round < 5; round++ {
+		// Fill partially, pop partially, so head walks around the ring.
+		var items []ingestItem
+		for i := 0; i < 3; i++ {
+			items = append(items, item(next))
+			next++
+		}
+		if n := q.putAll(items); n != len(items) {
+			t.Fatalf("putAll took %d of %d on an open queue", n, len(items))
+		}
+		for _, id := range drainIDs(t, q, 3) {
+			if want := fmt.Sprintf("it-%04d", popped); id != want {
+				t.Fatalf("popped %q, want %q — FIFO broken", id, want)
+			}
+			popped++
+		}
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d", popped, next)
+	}
+}
+
+func TestIngestQueueBackpressureBlocks(t *testing.T) {
+	q := newIngestQueue(2, false)
+	if n := q.putAll([]ingestItem{item(0), item(1)}); n != 2 {
+		t.Fatalf("initial fill took %d", n)
+	}
+	unblocked := make(chan int, 1)
+	go func() {
+		unblocked <- q.putAll([]ingestItem{item(2)})
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("putAll into a full ring did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := drainIDs(t, q, 1); got[0] != "it-0000" {
+		t.Fatalf("popped %q", got[0])
+	}
+	select {
+	case n := <-unblocked:
+		if n != 1 {
+			t.Fatalf("unblocked putAll took %d, want 1", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("putAll stayed blocked after a pop made room")
+	}
+}
+
+func TestIngestQueueLargerThanRing(t *testing.T) {
+	// A put bigger than the ring must chunk through, never deadlock, and
+	// keep order — given a concurrent consumer.
+	q := newIngestQueue(4, false)
+	const n = 100
+	var got []string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(got) < n {
+			batch, ok := q.drain(nil, 7)
+			if !ok {
+				return
+			}
+			for _, it := range batch {
+				got = append(got, string(it.op.ID))
+			}
+		}
+	}()
+	items := make([]ingestItem, n)
+	for i := range items {
+		items[i] = item(i)
+	}
+	if n := q.putAll(items); n != len(items) {
+		t.Fatalf("putAll took %d of %d", n, len(items))
+	}
+	wg.Wait()
+	for i, id := range got {
+		if want := fmt.Sprintf("it-%04d", i); id != want {
+			t.Fatalf("position %d = %q, want %q", i, id, want)
+		}
+	}
+}
+
+func TestIngestQueueClose(t *testing.T) {
+	q := newIngestQueue(4, false)
+	q.putAll([]ingestItem{item(0)})
+	q.close()
+	// The consumer still drains what was queued...
+	batch, ok := q.drain(nil, 8)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("drain after close = %d items, ok=%v; want the 1 queued item", len(batch), ok)
+	}
+	// ...then observes the close.
+	if batch, ok = q.drain(nil, 8); ok || len(batch) != 0 {
+		t.Fatalf("second drain = %d items, ok=%v; want empty and closed", len(batch), ok)
+	}
+	// Producers are refused.
+	if n := q.putAll([]ingestItem{item(1)}); n != 0 {
+		t.Fatal("putAll enqueued on a closed queue")
+	}
+	if q.tryPutAll([]ingestItem{item(1)}) != -1 {
+		t.Fatal("tryPutAll did not report the close")
+	}
+}
+
+func TestIngestQueueTryVariants(t *testing.T) {
+	q := newIngestQueue(3, false)
+	if got := q.tryDrain(nil, 4); len(got) != 0 {
+		t.Fatalf("tryDrain on empty = %d items", len(got))
+	}
+	items := make([]ingestItem, 5)
+	for i := range items {
+		items[i] = item(i)
+	}
+	if n := q.tryPutAll(items); n != 3 {
+		t.Fatalf("tryPutAll took %d, want 3 (ring capacity)", n)
+	}
+	got := q.tryDrain(nil, 2)
+	if len(got) != 2 || got[0].op.ID != "it-0000" || got[1].op.ID != "it-0001" {
+		t.Fatalf("tryDrain = %v", got)
+	}
+	if n := q.tryPutAll(items[3:]); n != 2 {
+		t.Fatalf("tryPutAll after pop took %d, want 2", n)
+	}
+}
+
+// TestIngestQueueUnboundedGrows pins the inline variant's contract: a
+// put larger than the ring grows it (preserving order through the old
+// wraparound) instead of refusing or blocking — the property that keeps
+// a reentrant bulk submit from livelocking the single inline drainer.
+func TestIngestQueueUnboundedGrows(t *testing.T) {
+	q := newIngestQueue(2, true)
+	// Wrap the head first so growth must linearize a wrapped ring.
+	q.tryPutAll([]ingestItem{item(0), item(1)})
+	if got := q.tryDrain(nil, 1); len(got) != 1 {
+		t.Fatal("prime pop failed")
+	}
+	items := make([]ingestItem, 9)
+	for i := range items {
+		items[i] = item(i + 2)
+	}
+	if n := q.tryPutAll(items); n != len(items) {
+		t.Fatalf("unbounded tryPutAll took %d of %d", n, len(items))
+	}
+	got := q.tryDrain(nil, 100)
+	if len(got) != 10 {
+		t.Fatalf("drained %d items, want 10", len(got))
+	}
+	for i, it := range got {
+		if want := fmt.Sprintf("it-%04d", i+1); string(it.op.ID) != want {
+			t.Fatalf("position %d = %q, want %q — growth lost order", i, it.op.ID, want)
+		}
+	}
+}
+
+// TestIngestQueuePartialEnqueueOnClose pins the ownership split a
+// mid-call close creates: putAll reports exactly how many items the
+// consumer now owns, and the consumer drains exactly those — the caller
+// resolving the untaken suffix and the consumer the taken prefix must
+// never overlap (a double delivery into a shared sink).
+func TestIngestQueuePartialEnqueueOnClose(t *testing.T) {
+	q := newIngestQueue(2, false)
+	done := make(chan int, 1)
+	go func() { done <- q.putAll([]ingestItem{item(0), item(1), item(2), item(3)}) }()
+	for {
+		q.mu.Lock()
+		filled := q.n
+		q.mu.Unlock()
+		if filled == 2 {
+			break // producer has filled the ring and is blocked on the rest
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	if n := <-done; n != 2 {
+		t.Fatalf("putAll reported %d taken, want 2 (the enqueued prefix)", n)
+	}
+	batch, _ := q.drain(nil, 8)
+	if len(batch) != 2 || batch[0].op.ID != "it-0000" || batch[1].op.ID != "it-0001" {
+		t.Fatalf("consumer drained %d items, want exactly the taken prefix", len(batch))
+	}
+}
+
+func TestIngestQueueBlockedProducerUnblocksOnClose(t *testing.T) {
+	q := newIngestQueue(1, false)
+	q.putAll([]ingestItem{item(0)})
+	done := make(chan int, 1)
+	go func() { done <- q.putAll([]ingestItem{item(1), item(2)}) }()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("blocked producer reported %d enqueued after close", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked producer not woken by close")
+	}
+}

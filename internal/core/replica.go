@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/apology"
 	"repro/internal/oplog"
@@ -77,7 +78,37 @@ type Replica[S any] struct {
 	stateDirty  bool
 	snaps       []foldSnap[S]
 
+	// The lock-free read path: pub holds the newest published fold
+	// snapshot — an immutable {state, op count} pair stamped with the set
+	// version it derives — and version counts set mutations (bumped under
+	// mu). A reader whose loaded publication matches the current version
+	// returns it without ever touching mu; anything newer falls back to
+	// the locked fold. The batched ingest loop republishes once per batch
+	// before resolving results, so under pipeline ingest a reader observes
+	// every acknowledged write on the fast path.
+	pub     atomic.Pointer[foldPub[S]]
+	version atomic.Uint64
+
+	// The batched ingest pipeline (WithIngestBatch): submits enqueue into
+	// the ring, a single writer drains it. Nil when batching is off.
+	// ingestInline marks worlds without a dedicated writer goroutine (the
+	// simulator, custom transports), where the enqueueing goroutine
+	// drains the queue itself — serialized by drainMu so concurrent
+	// enqueuers never interleave segments — keeping the simulator
+	// deterministic and queue order intact everywhere.
+	ingest       *ingestQueue
+	ingestInline bool
+	drainMu      sync.Mutex
+
 	Ledger apology.Ledger // this replica's memories, guesses, apologies
+}
+
+// foldPub is one published fold snapshot: the immutable state derived
+// from all n entries of the set at the given version.
+type foldPub[S any] struct {
+	state   S
+	n       int
+	version uint64
 }
 
 // foldSnap is one periodic fold checkpoint: the (cloned) state derived
@@ -131,6 +162,7 @@ func newReplica[S any](c *Cluster[S], g *shardGroup[S], id string) *Replica[S] {
 // published (construction or under mu during Recover).
 func (r *Replica[S]) seedFromDisk(st *store.Store, rec store.Recovery) {
 	r.store = st
+	r.ops.Grow(len(rec.SnapshotEntries) + len(rec.JournalEntries))
 	add := func(e oplog.Entry) {
 		if r.ops.Add(e) && e.Lam > r.lamport {
 			r.lamport = e.Lam
@@ -145,6 +177,9 @@ func (r *Replica[S]) seedFromDisk(st *store.Store, rec store.Recovery) {
 		r.journal.Append(e)
 	}
 	r.stateDirty = r.ops.Len() > 0
+	// Invalidate any published read snapshot from a previous incarnation;
+	// the next State call refolds from the recovered set and republishes.
+	r.version.Add(1)
 }
 
 // ID returns the replica's name — its transport node id (r0, r1, ... on
@@ -174,7 +209,12 @@ func (r *Replica[S]) JournalTruncated() int {
 }
 
 // OpCount reports how many distinct operations this replica has seen.
+// Like State, it serves from the published fold snapshot when that is
+// current, without taking the replica lock.
 func (r *Replica[S]) OpCount() int {
+	if p := r.pub.Load(); p != nil && p.version == r.version.Load() {
+		return p.n
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.ops.Len()
@@ -212,7 +252,15 @@ func (r *Replica[S]) sameOps(o *Replica[S]) bool {
 // change it — but it is read-only: the engine folds forward from it, so
 // mutating a reference-typed state through it corrupts every subsequent
 // derivation.
+//
+// Reads are lock-free whenever the atomically published fold snapshot is
+// current — always on a quiescent replica, and between batches under
+// pipeline ingest, which republishes before acknowledging each batch.
+// Only a reader racing an in-flight mutation falls back to the lock.
 func (r *Replica[S]) State() S {
+	if p := r.pub.Load(); p != nil && p.version == r.version.Load() {
+		return p.state
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stateLocked()
@@ -224,7 +272,26 @@ func (r *Replica[S]) stateLocked() S {
 	// experiment); the next in-place fold must clone first so this
 	// snapshot stays valid — the contract App documents.
 	r.stateShared = true
+	r.publishLocked()
 	return r.state
+}
+
+// publishLocked stores the current fold as the lock-free read snapshot.
+// It must only run when the fold is current (not dirty); the published
+// state is handed out by reference, so it is marked shared — the next
+// in-place fold clones first, and the object behind the pointer is
+// immutable forever after. Version is captured under mu, which is what
+// lets readers validate a loaded publication with one atomic compare.
+func (r *Replica[S]) publishLocked() {
+	if r.stateDirty {
+		return
+	}
+	v := r.version.Load()
+	if p := r.pub.Load(); p != nil && p.version == v {
+		return
+	}
+	r.stateShared = true
+	r.pub.Store(&foldPub[S]{state: r.state, n: r.ops.Len(), version: v})
 }
 
 // foldLocked brings the fold checkpoint up to date with the operation set.
@@ -302,6 +369,56 @@ func (r *Replica[S]) rewindLocked(m oplog.Watermark) {
 	r.g.M.FoldRewinds.Inc()
 }
 
+// addLocked unions one entry into the set — Lamport clock, rewind
+// detection — without journaling or store staging; the batched ingest
+// loop batches those through Journal.AppendAll and stageLocked. It
+// reports whether the entry was new. The caller holds r.mu.
+func (r *Replica[S]) addLocked(e oplog.Entry) bool {
+	if !r.ops.Add(e) {
+		return false
+	}
+	// Dirty immediately, not at staging time: an admission check later in
+	// the same ingest batch must fold this entry in before it guesses.
+	r.stateDirty = true
+	if e.Lam > r.lamport {
+		r.lamport = e.Lam
+	}
+	if r.c.snapFn != nil && !r.stateMark.Before(e) {
+		// The newcomer sorts into the already-folded past: the
+		// checkpoint no longer covers a prefix of the canonical
+		// order. Ingress Lamport stamping makes this rare — only
+		// gossip can deliver it.
+		r.rewindLocked(e.Mark())
+	}
+	return true
+}
+
+// stageLocked records the side effects of newly added entries: the fold
+// goes dirty, the set version advances (invalidating the published read
+// snapshot until the next publication), and — on a durable replica — the
+// whole slice is staged to the disk journal in one call. It returns the
+// store position covering the entries (0 without a store). The caller
+// holds r.mu and has already journaled the entries (or deliberately not,
+// for a lone replica).
+func (r *Replica[S]) stageLocked(added []oplog.Entry) (end int) {
+	r.version.Add(1)
+	if r.store != nil {
+		// Stage to the disk journal in the same order, under the same
+		// lock, as the in-memory journal: the two streams share
+		// absolute positions, which is what lets peer acknowledgements
+		// (in-memory positions) gate disk compaction.
+		end = r.store.Stage(added)
+		r.sinceSnap += len(added)
+		if len(r.gossipPeers) == 0 {
+			// No peers will ever need a re-push: the ack watermark is
+			// vacuously the journal tail, so only snapshots gate
+			// compaction.
+			r.store.AckTo(end)
+		}
+	}
+	return end
+}
+
 // absorbLocked unions entries into the set, returning the ones that
 // were new plus the durable-store position covering them (0 when the
 // replica has no store). from names the peer the entries arrived from
@@ -311,46 +428,40 @@ func (r *Replica[S]) rewindLocked(m oplog.Watermark) {
 // deduplicated echo. The caller holds r.mu.
 func (r *Replica[S]) absorbLocked(entries []oplog.Entry, from string) (added []oplog.Entry, end int) {
 	contiguous := from != "" && r.sentTo[from] == r.journal.Len()
-	for _, e := range entries {
-		if r.ops.Add(e) {
-			if e.Lam > r.lamport {
-				r.lamport = e.Lam
+	added = r.ops.AddAll(entries)
+	if len(added) == 0 {
+		return nil, 0
+	}
+	r.stateDirty = true
+	var behind oplog.Watermark
+	rewind := false
+	for _, e := range added {
+		if e.Lam > r.lamport {
+			r.lamport = e.Lam
+		}
+		if r.c.snapFn != nil && !r.stateMark.Before(e) {
+			// The newcomer sorts into the already-folded past: the
+			// checkpoint no longer covers a prefix of the canonical order.
+			// One rewind to the earliest such position covers the whole
+			// batch; doing it per entry would replay the checkpoint suffix
+			// K times.
+			if m := e.Mark(); !rewind || m.Less(behind) {
+				behind, rewind = m, true
 			}
-			if r.c.snapFn != nil && !r.stateMark.Before(e) {
-				// The newcomer sorts into the already-folded past: the
-				// checkpoint no longer covers a prefix of the canonical
-				// order. Ingress Lamport stamping makes this rare — only
-				// gossip can deliver it.
-				r.rewindLocked(e.Mark())
-			}
-			if len(r.gossipPeers) > 0 {
-				// A lone replica never pushes, so journaling for it would
-				// only accumulate memory.
-				r.journal.Append(e)
-			}
-			added = append(added, e)
 		}
 	}
-	if len(added) > 0 {
-		r.stateDirty = true
-		if r.store != nil {
-			// Stage to the disk journal in the same order, under the same
-			// lock, as the in-memory journal: the two streams share
-			// absolute positions, which is what lets peer acknowledgements
-			// (in-memory positions) gate disk compaction.
-			end = r.store.Stage(added)
-			r.sinceSnap += len(added)
-			if len(r.gossipPeers) == 0 {
-				// No peers will ever need a re-push: the ack watermark is
-				// vacuously the journal tail, so only snapshots gate
-				// compaction.
-				r.store.AckTo(end)
-			}
-		}
-		if contiguous {
-			r.sentTo[from] = r.journal.Len()
-			r.truncateJournalLocked()
-		}
+	if rewind {
+		r.rewindLocked(behind)
+	}
+	if len(r.gossipPeers) > 0 {
+		// A lone replica never pushes, so journaling for it would only
+		// accumulate memory.
+		r.journal.AppendAll(added)
+	}
+	end = r.stageLocked(added)
+	if contiguous {
+		r.sentTo[from] = r.journal.Len()
+		r.truncateJournalLocked()
 	}
 	return added, end
 }
@@ -372,6 +483,25 @@ func (r *Replica[S]) maybeSnapshotLocked() func() {
 	mark := r.stateMark
 	st := r.store
 	return func() { st.WriteSnapshot(entries, pos, mark) }
+}
+
+// whatMemo tracks runs of like (kind, key) pairs so ledger fan-outs
+// build their description strings once per run instead of once per
+// entry. fresh reports whether the pair changed — the caller rebuilds
+// its strings exactly then. Shared by the batch-ingest commit fan-out
+// and the gossip-absorb fan-out, so the memoization key can never drift
+// between them.
+type whatMemo struct {
+	kind, key string
+	seen      bool
+}
+
+func (m *whatMemo) fresh(kind, key string) bool {
+	if m.seen && kind == m.kind && key == m.key {
+		return false
+	}
+	m.kind, m.key, m.seen = kind, key, true
+	return true
 }
 
 // absorb unions entries into the set and — once they are durable, on a
@@ -402,8 +532,15 @@ func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string, then func(a
 	finish := func(ok bool) {
 		if ok {
 			now := r.c.tr.Now()
+			// Memoized across runs of the same (kind, key): a bulk gossip
+			// push of like operations builds its description once.
+			var memo whatMemo
+			var what string
 			for _, e := range added {
-				r.Ledger.Record(now, apology.Memory, r.id, how+" "+e.Kind+" "+e.Key, e.ID)
+				if memo.fresh(e.Kind, e.Key) {
+					what = how + " " + e.Kind + " " + e.Key
+				}
+				r.Ledger.Record(now, apology.Memory, r.id, what, e.ID)
 			}
 			if len(added) > 0 {
 				r.sweepViolations()
@@ -718,6 +855,10 @@ func (r *Replica[S]) Kill() {
 	r.stateShared = false
 	r.stateDirty = false
 	r.snaps = nil
+	// Lock-free readers must not keep serving the dead incarnation's
+	// snapshot: bump the version and publish the wiped state.
+	r.version.Add(1)
+	r.publishLocked()
 	r.mu.Unlock()
 	r.Ledger.Reset()
 	if st != nil {

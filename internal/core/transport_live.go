@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -12,18 +13,25 @@ import (
 )
 
 // LiveTransport runs a cluster on real goroutines and wall-clock time:
-// every message delivery is a goroutine, every timeout a real timer. It
-// trades the simulator's determinism for true parallelism, which is what
-// `go test -bench` and cmd/quicksand-bench use to measure the engine at
-// hardware speed. Nodes can still be crashed (SetUp) for fault-injection
-// tests; partitions are not modelled — Reachable is always true between
-// registered nodes.
+// message deliveries run on per-node delivery workers, every timeout is a
+// real timer. It trades the simulator's determinism for true parallelism,
+// which is what `go test -bench` and cmd/quicksand-bench use to measure
+// the engine at hardware speed. Nodes can still be crashed (SetUp) for
+// fault-injection tests; partitions are not modelled — Reachable is
+// always true between registered nodes.
+//
+// Delivery does not spawn a goroutine per message: each node owns an
+// inbox drained by one coalescing worker goroutine, spawned when traffic
+// arrives and exiting when the inbox empties. A gossip storm of N pushes
+// at a node therefore costs one goroutine wake instead of N goroutine
+// starts, and deliveries to one node run in arrival order. Handlers must
+// not block waiting for another delivery to the same node (none of the
+// engine's do — every reply and follow-up call is asynchronous).
 type LiveTransport struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex // guards the node map; hot paths take it read-only
 	start   time.Time
 	nodes   map[string]*liveNode
-	latency simnet.Latency // optional artificial delivery delay
-	rng     *rand.Rand     // guarded by mu, used only for latency sampling
+	latency atomic.Pointer[simnet.Latency] // optional artificial delivery delay; nil = none
 }
 
 // NewLiveTransport returns an empty live transport. Messages are delivered
@@ -33,7 +41,6 @@ func NewLiveTransport() *LiveTransport {
 	return &LiveTransport{
 		start: time.Now(),
 		nodes: make(map[string]*liveNode),
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
@@ -41,9 +48,11 @@ func NewLiveTransport() *LiveTransport {
 // cluster can approximate cross-site links while still running on real
 // goroutines. A nil model removes the delay.
 func (t *LiveTransport) SetLatency(l simnet.Latency) {
-	t.mu.Lock()
-	t.latency = l
-	t.mu.Unlock()
+	if l == nil {
+		t.latency.Store(nil)
+		return
+	}
+	t.latency.Store(&l)
 }
 
 // Now returns the wall-clock time elapsed since the transport was built.
@@ -56,7 +65,15 @@ func (t *LiveTransport) Node(id string, callTimeout time.Duration) Node {
 	if _, dup := t.nodes[id]; dup {
 		panic(fmt.Sprintf("quicksand: live node %q already registered", id))
 	}
-	n := &liveNode{t: t, id: id, timeout: callTimeout, handlers: make(map[string]Handler)}
+	n := &liveNode{
+		t:        t,
+		id:       id,
+		timeout:  callTimeout,
+		handlers: make(map[string]Handler),
+		// Per-node RNG: latency sampling contends only with this node's
+		// own sends, never serializing the whole transport on one lock.
+		rng: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(t.nodes))<<32)),
+	}
 	t.nodes[id] = n
 	return n
 }
@@ -123,38 +140,21 @@ func (t *LiveTransport) IsUp(id string) bool { return !t.node(id).Crashed() }
 // Reachable reports whether both nodes are registered; the live transport
 // does not model partitions.
 func (t *LiveTransport) Reachable(a, b string) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, okA := t.nodes[a]
 	_, okB := t.nodes[b]
 	return okA && okB
 }
 
 func (t *LiveTransport) node(id string) *liveNode {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n, ok := t.nodes[id]
 	if !ok {
 		panic(fmt.Sprintf("quicksand: unknown live node %q", id))
 	}
 	return n
-}
-
-// deliver runs fn on a fresh goroutine, after the sampled artificial
-// latency if a model is installed.
-func (t *LiveTransport) deliver(fn func()) {
-	t.mu.Lock()
-	l := t.latency
-	var d time.Duration
-	if l != nil {
-		d = l.Sample(t.rng)
-	}
-	t.mu.Unlock()
-	if d > 0 {
-		time.AfterFunc(d, fn)
-		return
-	}
-	go fn()
 }
 
 // liveNode is one participant on a LiveTransport. Handler registration
@@ -166,6 +166,13 @@ type liveNode struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
 	down     bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // latency sampling; guarded by rngMu, not the transport lock
+
+	inboxMu  sync.Mutex
+	inbox    []func()
+	draining bool
 }
 
 func (n *liveNode) ID() string { return n.id }
@@ -201,6 +208,65 @@ func (n *liveNode) handler(method string) Handler {
 	return h
 }
 
+// sampleLatency draws this send's artificial delay from the sender's own
+// RNG. The common no-model case is a single atomic load — no shared
+// lock, no RNG touch — so sends from different nodes share nothing.
+func (n *liveNode) sampleLatency() time.Duration {
+	l := n.t.latency.Load()
+	if l == nil {
+		return 0
+	}
+	n.rngMu.Lock()
+	d := (*l).Sample(n.rng)
+	n.rngMu.Unlock()
+	return d
+}
+
+// sendTo schedules fn on the receiver's delivery worker, after this
+// sender's sampled artificial latency if a model is installed.
+func (n *liveNode) sendTo(to *liveNode, fn func()) {
+	if d := n.sampleLatency(); d > 0 {
+		time.AfterFunc(d, func() { to.enqueue(fn) })
+		return
+	}
+	to.enqueue(fn)
+}
+
+// enqueue appends fn to the node's inbox and ensures a worker is
+// draining it. The worker is coalescing: it exists only while the inbox
+// is non-empty, so idle nodes hold no goroutine and a burst of messages
+// shares one.
+func (n *liveNode) enqueue(fn func()) {
+	n.inboxMu.Lock()
+	n.inbox = append(n.inbox, fn)
+	if n.draining {
+		n.inboxMu.Unlock()
+		return
+	}
+	n.draining = true
+	n.inboxMu.Unlock()
+	go n.drainInbox()
+}
+
+// drainInbox runs queued deliveries in arrival order until the inbox
+// empties, then exits.
+func (n *liveNode) drainInbox() {
+	for {
+		n.inboxMu.Lock()
+		batch := n.inbox
+		if len(batch) == 0 {
+			n.draining = false
+			n.inboxMu.Unlock()
+			return
+		}
+		n.inbox = nil
+		n.inboxMu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+	}
+}
+
 // Call matches the fail-fast semantics of the simulated rpc layer: a
 // crashed sender sends nothing (the caller observes a timeout), a crashed
 // receiver drops the message, and a reply landing after the deadline is
@@ -219,7 +285,7 @@ func (n *liveNode) Call(to string, method string, req any, done func(resp any, o
 		return // a stopped process sends nothing; the timer reports it
 	}
 	peer := n.t.node(to)
-	n.t.deliver(func() {
+	n.sendTo(peer, func() {
 		if peer.Crashed() {
 			return
 		}
@@ -232,7 +298,7 @@ func (n *liveNode) Call(to string, method string, req any, done func(resp any, o
 			if n.Crashed() {
 				return // response to a crashed caller is lost
 			}
-			n.t.deliver(func() {
+			peer.sendTo(n, func() {
 				timer.Stop()
 				fire(resp, true)
 			})

@@ -15,13 +15,18 @@ package oplog
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/uniq"
 )
 
 // AppendEntry appends the binary encoding of e to buf and returns the
-// extended slice, in the style of strconv.AppendInt.
+// extended slice, in the style of strconv.AppendInt. With a buffer of at
+// least EntrySize(e) spare capacity the call performs no allocation —
+// the contract the batched journal writer and snapshot writer rely on
+// (and the alloc assertions in codec_test.go pin).
 func AppendEntry(buf []byte, e Entry) []byte {
 	buf = appendString(buf, string(e.ID))
 	buf = appendString(buf, e.Kind)
@@ -31,6 +36,40 @@ func AppendEntry(buf []byte, e Entry) []byte {
 	buf = binary.AppendVarint(buf, int64(e.At))
 	buf = binary.AppendVarint(buf, e.Arg)
 	return buf
+}
+
+// EntrySize reports the exact encoded length of e, so a caller batching
+// many entries into one buffer can preallocate it once instead of letting
+// append grow it piecemeal.
+func EntrySize(e Entry) int {
+	return stringSize(len(e.ID)) + stringSize(len(e.Kind)) + stringSize(len(e.Key)) + stringSize(len(e.Note)) +
+		uvarintSize(e.Lam) + varintSize(int64(e.At)) + varintSize(e.Arg)
+}
+
+func stringSize(n int) int { return uvarintSize(uint64(n)) + n }
+
+func uvarintSize(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+func varintSize(v int64) int {
+	// Varint zigzags before writing, exactly as binary.AppendVarint does.
+	return uvarintSize(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// bufPool recycles encode scratch buffers across journal flushes and
+// snapshot writes. Buffers start small and grow to the workload's natural
+// record size; pooling them keeps the steady-state encode path
+// allocation-free without pinning one large buffer per store forever.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// GetBuf borrows a zero-length encode buffer from the shared pool. Return
+// it with PutBuf when the encoded bytes have been written out; the buffer
+// must not be referenced afterwards.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a borrowed buffer to the pool, keeping its grown capacity.
+func PutBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
 }
 
 // DecodeEntry decodes one entry occupying the whole of b — the framing

@@ -1,6 +1,7 @@
 package oplog
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -88,6 +89,49 @@ func TestWatermarkCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEntrySizeExact(t *testing.T) {
+	cases := []Entry{
+		{},
+		{ID: "r0-000001", Kind: "deposit", Key: "acct-007", Arg: 100_00, Lam: 1, At: 5_000_000},
+		{ID: "x", Arg: -42, At: -1, Note: "free-form\nnote"},
+		{ID: uniq.ID(strings.Repeat("long", 100)), Kind: "k", Key: strings.Repeat("key", 50), Arg: 1 << 62, Lam: ^uint64(0), At: sim.Time(1 << 60)},
+		{Lam: 127}, {Lam: 128}, {Arg: 63}, {Arg: 64}, {Arg: -64}, {Arg: -65},
+	}
+	for _, e := range cases {
+		if got, want := EntrySize(e), len(AppendEntry(nil, e)); got != want {
+			t.Fatalf("EntrySize(%+v) = %d, encoded length %d", e, got, want)
+		}
+	}
+}
+
+// TestAppendEntryNoAllocs pins the zero-allocation contract of the encode
+// path: appending into a buffer with enough spare capacity must not touch
+// the heap, or every journal flush and snapshot write regresses to one
+// allocation per record.
+func TestAppendEntryNoAllocs(t *testing.T) {
+	e := Entry{ID: "r0-000042", Kind: "deposit", Key: "acct-007", Note: "n", Arg: 100_00, Lam: 42, At: 5_000_000}
+	buf := make([]byte, 0, 4*EntrySize(e))
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendEntry(buf[:0], e)
+	}); allocs != 0 {
+		t.Fatalf("AppendEntry into a presized buffer allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestBufPoolRoundTrip(t *testing.T) {
+	b := GetBuf()
+	if len(*b) != 0 {
+		t.Fatalf("pooled buffer arrives with %d bytes", len(*b))
+	}
+	*b = append(*b, AppendEntry(nil, Entry{ID: "a"})...)
+	PutBuf(b)
+	b2 := GetBuf()
+	defer PutBuf(b2)
+	if len(*b2) != 0 {
+		t.Fatalf("recycled buffer not reset: %d bytes", len(*b2))
+	}
+}
+
 func TestJournalAt(t *testing.T) {
 	j := JournalAt(10)
 	if j.Len() != 10 || j.Base() != 10 || j.Retained() != 0 {
@@ -96,5 +140,91 @@ func TestJournalAt(t *testing.T) {
 	j.Append(Entry{ID: "a"})
 	if got := j.Since(10); len(got) != 1 || got[0].ID != "a" {
 		t.Fatalf("Since(10) = %v", got)
+	}
+}
+
+func TestJournalAppendAll(t *testing.T) {
+	var j Journal
+	j.Append(Entry{ID: "a"})
+	j.AppendAll([]Entry{{ID: "b"}, {ID: "c"}})
+	j.AppendAll(nil)
+	if j.Len() != 3 {
+		t.Fatalf("len = %d, want 3", j.Len())
+	}
+	got := j.Since(0)
+	for i, id := range []uniq.ID{"a", "b", "c"} {
+		if got[i].ID != id {
+			t.Fatalf("position %d = %q, want %q", i, got[i].ID, id)
+		}
+	}
+	j.TruncateTo(2)
+	j.AppendAll([]Entry{{ID: "d"}})
+	if j.Len() != 4 || j.Base() != 2 {
+		t.Fatalf("after truncate+append: len=%d base=%d", j.Len(), j.Base())
+	}
+}
+
+// TestAddAllMatchesSequentialAdd is the vectorized union's oracle: for
+// randomized batches (in-order tails, into-the-past merges, duplicates,
+// overlaps), AddAll must leave the set exactly as per-entry Add would,
+// and report the new entries in arrival order.
+func TestAddAllMatchesSequentialAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a, b := NewSet(), NewSet()
+		mkBatch := func(n int) []Entry {
+			batch := make([]Entry, n)
+			for i := range batch {
+				lam := uint64(rng.Intn(40))
+				batch[i] = Entry{ID: uniq.ID(fmt.Sprintf("t%d-e%d", trial, rng.Intn(60))), Lam: lam, Arg: int64(lam)}
+			}
+			return batch
+		}
+		for round := 0; round < 5; round++ {
+			batch := mkBatch(1 + rng.Intn(12))
+			var wantAdded []Entry
+			for _, e := range batch {
+				if a.Add(e) {
+					wantAdded = append(wantAdded, e)
+				}
+			}
+			gotAdded := b.AddAll(batch)
+			if len(gotAdded) != len(wantAdded) {
+				t.Fatalf("trial %d: AddAll added %d, Add added %d", trial, len(gotAdded), len(wantAdded))
+			}
+			for i := range wantAdded {
+				if gotAdded[i] != wantAdded[i] {
+					t.Fatalf("trial %d: added[%d] = %+v, want %+v (arrival order lost)", trial, i, gotAdded[i], wantAdded[i])
+				}
+			}
+		}
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: sets diverged", trial)
+		}
+		ae, be := a.Entries(), b.Entries()
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatalf("trial %d: canonical order diverged at %d: %+v vs %+v", trial, i, ae[i], be[i])
+			}
+		}
+	}
+}
+
+func TestSetGrow(t *testing.T) {
+	s := NewSet()
+	s.Grow(100)
+	s.Grow(-1) // no-op
+	for i := 0; i < 100; i++ {
+		s.Add(Entry{ID: uniq.ID(strings.Repeat("x", 1) + string(rune('0'+i%10))), Lam: uint64(i)})
+	}
+	// Growing a populated set keeps its contents and order.
+	s2 := NewSet(Entry{ID: "a", Lam: 1}, Entry{ID: "b", Lam: 2})
+	s2.Grow(50)
+	if s2.Len() != 2 || s2.Entries()[0].ID != "a" || s2.Entries()[1].ID != "b" {
+		t.Fatalf("Grow disturbed the set: %v", s2.Entries())
+	}
+	s2.Add(Entry{ID: "c", Lam: 3})
+	if s2.Entries()[2].ID != "c" {
+		t.Fatal("append after Grow lost order")
 	}
 }

@@ -128,12 +128,83 @@ func (s *Set) Add(e Entry) bool {
 	return true
 }
 
+// AddAll unions a batch of entries, returning the ones that were new in
+// their input (arrival) order. It is the vectorized sibling of Add: the
+// fresh entries are merged into the canonical index in ONE pass, so a
+// gossip push of K entries that sort into the past costs one tail move
+// instead of K of them — the difference between anti-entropy keeping up
+// with sustained ingest and falling quadratically behind it.
+func (s *Set) AddAll(entries []Entry) (added []Entry) {
+	for _, e := range entries {
+		if _, ok := s.byID[e.ID]; ok {
+			continue
+		}
+		s.byID[e.ID] = e
+		added = append(added, e)
+	}
+	if len(added) == 0 {
+		return nil
+	}
+	// Fast path: the whole batch extends the tail in order (local submits,
+	// in-order gossip) — pure appends.
+	inOrder := true
+	last := Watermark{}
+	if n := len(s.ordered); n > 0 {
+		last = s.ordered[n-1].Mark()
+	}
+	for _, e := range added {
+		if !last.Less(e.Mark()) {
+			inOrder = false
+			break
+		}
+		last = e.Mark()
+	}
+	if inOrder {
+		s.ordered = append(s.ordered, added...)
+		return added
+	}
+	// Merge path: sort a copy of the newcomers canonically (added itself
+	// must keep arrival order for the caller), then merge from the back so
+	// every existing entry moves at most once.
+	fresh := append(make([]Entry, 0, len(added)), added...)
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Mark().Less(fresh[j].Mark()) })
+	old := len(s.ordered)
+	s.ordered = append(s.ordered, fresh...)
+	i, j, w := old-1, len(fresh)-1, len(s.ordered)-1
+	for j >= 0 {
+		if i >= 0 && fresh[j].Mark().Less(s.ordered[i].Mark()) {
+			s.ordered[w] = s.ordered[i]
+			i--
+		} else {
+			s.ordered[w] = fresh[j]
+			j--
+		}
+		w--
+	}
+	return added
+}
+
 // searchAfter returns the index of the first ordered entry sorting
 // strictly after w (len(ordered) if none).
 func (s *Set) searchAfter(w Watermark) int {
 	return sort.Search(len(s.ordered), func(i int) bool {
 		return w.Less(s.ordered[i].Mark())
 	})
+}
+
+// Grow ensures the canonical index has spare capacity for n more entries
+// without reallocating. Callers that know a batch's size (the batched
+// ingest loop, recovery replay) call it once up front so the per-entry
+// Add is a pure append.
+func (s *Set) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(s.ordered) - len(s.ordered); free < n {
+		grown := make([]Entry, len(s.ordered), len(s.ordered)+n)
+		copy(grown, s.ordered)
+		s.ordered = grown
+	}
 }
 
 // Contains reports whether an entry with the given ID is present.
@@ -265,6 +336,7 @@ func Fold[S any](s *Set, init S, fn func(S, Entry) S) S {
 type Journal struct {
 	base    int // entries truncated off the front
 	entries []Entry
+	dropped int // truncated entries still pinned by the backing array
 }
 
 // JournalAt returns an empty journal whose next append lands at absolute
@@ -275,6 +347,12 @@ func JournalAt(base int) Journal { return Journal{base: base} }
 
 // Append records one entry at position Len().
 func (j *Journal) Append(e Entry) { j.entries = append(j.entries, e) }
+
+// AppendAll records the entries at consecutive positions starting at
+// Len() — the vectorized sibling of Append. One call grows the backing
+// array at most once however many entries a batched ingest absorbed, so
+// the amortized per-entry cost stays a copy.
+func (j *Journal) AppendAll(entries []Entry) { j.entries = append(j.entries, entries...) }
 
 // Len is the absolute length: every entry ever appended, including the
 // truncated prefix.
@@ -301,10 +379,13 @@ func (j *Journal) Since(from int) []Entry {
 	return append([]Entry(nil), j.entries[from-j.base:]...)
 }
 
-// TruncateTo drops every entry before absolute position n, reallocating
-// the tail so the dropped prefix's backing memory is actually released.
-// Positions at or below Base (nothing new) and beyond Len (clamped) are
-// both safe.
+// TruncateTo drops every entry before absolute position n. The common
+// truncation — one per acknowledged gossip push — is an O(1) re-slice;
+// the dropped prefix's backing memory is released by an occasional
+// compaction once it outweighs what is retained, so a long-lived journal
+// never pins more than ~2× its live entries while steady-state
+// truncation costs no copy at all. Positions at or below Base (nothing
+// new) and beyond Len (clamped) are both safe.
 func (j *Journal) TruncateTo(n int) {
 	if n > j.Len() {
 		n = j.Len()
@@ -312,7 +393,15 @@ func (j *Journal) TruncateTo(n int) {
 	if n <= j.base {
 		return
 	}
-	keep := j.entries[n-j.base:]
-	j.entries = append(make([]Entry, 0, len(keep)), keep...)
+	k := n - j.base
+	j.entries = j.entries[k:]
 	j.base = n
+	j.dropped += k
+	if j.dropped > len(j.entries) {
+		// The pinned prefix outweighs the live tail: copy out and let the
+		// old array go. Amortized over the drops that got us here, still
+		// O(1) per truncated entry.
+		j.entries = append(make([]Entry, 0, len(j.entries)), j.entries...)
+		j.dropped = 0
+	}
 }

@@ -84,3 +84,62 @@ func BenchmarkFold1k(b *testing.B) {
 		Fold(s, int64(0), func(acc int64, e Entry) int64 { return acc + e.Arg })
 	}
 }
+
+// BenchmarkAppendEntryReused is the journal writer's steady state: encode
+// into a reused scratch buffer. Run with -benchmem; the assertion below
+// (and TestAppendEntryNoAllocs) pin this at 0 allocs/op.
+func BenchmarkAppendEntryReused(b *testing.B) {
+	b.ReportAllocs()
+	e := Entry{ID: "r0-000042", Kind: "deposit", Key: "acct-007", Note: "n", Arg: 100_00, Lam: 42, At: 5_000_000}
+	buf := make([]byte, 0, 2*EntrySize(e))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEntry(buf[:0], e)
+	}
+	if testing.AllocsPerRun(100, func() { buf = AppendEntry(buf[:0], e) }) != 0 {
+		b.Fatal("reused-buffer encode allocates")
+	}
+}
+
+// BenchmarkAppendEntryPooled is the same encode through the shared buffer
+// pool — what the snapshot writer pays per file, amortized to zero after
+// the pool warms up.
+func BenchmarkAppendEntryPooled(b *testing.B) {
+	b.ReportAllocs()
+	e := Entry{ID: "r0-000042", Kind: "deposit", Key: "acct-007", Note: "n", Arg: 100_00, Lam: 42, At: 5_000_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		*buf = AppendEntry(*buf, e)
+		PutBuf(buf)
+	}
+}
+
+func BenchmarkDecodeEntry(b *testing.B) {
+	b.ReportAllocs()
+	enc := AppendEntry(nil, Entry{ID: "r0-000042", Kind: "deposit", Key: "acct-007", Note: "n", Arg: 100_00, Lam: 42, At: 5_000_000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEntry(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppendAll measures the vectorized journal append the
+// batched ingest loop uses: one call per 256-entry batch.
+func BenchmarkJournalAppendAll(b *testing.B) {
+	b.ReportAllocs()
+	batch := make([]Entry, 256)
+	for i := range batch {
+		batch[i] = Entry{ID: uniq.ID(fmt.Sprintf("op-%08d", i)), Lam: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var j Journal
+		j.AppendAll(batch)
+		if j.Len() != len(batch) {
+			b.Fatal("lost entries")
+		}
+	}
+}

@@ -639,11 +639,18 @@ func (s *Store) writeChunks(chunks []chunk) error {
 	return nil
 }
 
+// appendRecord frames one entry into buf: the payload is encoded directly
+// after a reserved header, then the header is filled in — no intermediate
+// per-entry allocation, so a reused scratch buffer makes the whole flush
+// path allocation-free at steady state.
 func appendRecord(buf []byte, e oplog.Entry) []byte {
-	payload := oplog.AppendEntry(nil, e)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
-	return append(buf, payload...)
+	hdr := len(buf)
+	buf = append(buf, make([]byte, recHdrLen)...) // header placeholder, backfilled below
+	buf = oplog.AppendEntry(buf, e)
+	payload := buf[hdr+recHdrLen:]
+	binary.LittleEndian.PutUint32(buf[hdr:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[hdr+4:], crc32.Checksum(payload, castagnoli))
+	return buf
 }
 
 func (s *Store) syncSeg() error {
@@ -762,7 +769,19 @@ func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 	}
 	s.mu.Unlock()
 
-	buf := make([]byte, 0, 64+64*len(entries))
+	// Size the buffer exactly (EntrySize per record plus framing) and
+	// borrow it from the shared pool: snapshots of a steady-state ledger
+	// are all about the same size, so successive writes reuse one array.
+	size := 64
+	for _, e := range entries {
+		size += recHdrLen + oplog.EntrySize(e)
+	}
+	scratch := oplog.GetBuf()
+	defer oplog.PutBuf(scratch)
+	if cap(*scratch) < size {
+		*scratch = make([]byte, 0, size)
+	}
+	buf := *scratch
 	buf = append(buf, snapMagic...)
 	buf = binary.AppendUvarint(buf, uint64(pos))
 	buf = oplog.AppendWatermark(buf, mark)
@@ -771,6 +790,7 @@ func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 		buf = appendRecord(buf, e)
 	}
 	buf = append(buf, snapFooter...)
+	*scratch = buf[:0]
 
 	final := s.snapPath(pos)
 	tmp := final + ".tmp"

@@ -15,6 +15,8 @@ import (
 	"crypto/md5"
 	"encoding/hex"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
@@ -35,9 +37,23 @@ type Gen struct {
 // NewGen returns a generator scoped to node.
 func NewGen(node string) *Gen { return &Gen{node: node} }
 
-// Next returns a fresh ID.
+// Next returns a fresh ID. The format is exactly fmt.Sprintf("%s-%06d",
+// node, seq), built by hand because Next sits on the ingest hot path:
+// one allocation per ID (the Builder's buffer, handed off without a
+// copy) instead of Sprintf's three.
 func (g *Gen) Next() ID {
-	return ID(fmt.Sprintf("%s-%06d", g.node, atomic.AddUint64(&g.seq, 1)))
+	n := atomic.AddUint64(&g.seq, 1)
+	var tmp [20]byte
+	digits := strconv.AppendUint(tmp[:0], n, 10)
+	var b strings.Builder
+	b.Grow(len(g.node) + 1 + max(6, len(digits)))
+	b.WriteString(g.node)
+	b.WriteByte('-')
+	for z := 6 - len(digits); z > 0; z-- {
+		b.WriteByte('0')
+	}
+	b.Write(digits)
+	return ID(b.String())
 }
 
 // Count reports how many IDs the generator has issued.

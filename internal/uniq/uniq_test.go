@@ -1,6 +1,7 @@
 package uniq
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -95,5 +96,23 @@ func TestDedupIndependentIDs(t *testing.T) {
 	}
 	if d.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestGenNextMatchesSprintf(t *testing.T) {
+	g := NewGen("s3/r1")
+	for i := 1; i <= 2000; i++ {
+		got := g.Next()
+		want := ID(fmt.Sprintf("%s-%06d", "s3/r1", i))
+		if got != want {
+			t.Fatalf("Next() #%d = %q, want %q", i, got, want)
+		}
+	}
+	// Past six digits the width grows exactly as %06d does.
+	g2 := &Gen{node: "n", seq: 999_998}
+	for _, want := range []ID{"n-999999", "n-1000000", "n-1000001"} {
+		if got := g2.Next(); got != want {
+			t.Fatalf("Next() = %q, want %q", got, want)
+		}
 	}
 }
