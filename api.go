@@ -163,6 +163,21 @@ func WithTransport(t Transport) Option { return core.WithTransport(t) }
 // simulator s.
 func WithSim(s *Sim) Option { return core.WithSim(s) }
 
+// WithLocalReplicas marks the given replica indices as the ones this
+// process hosts — the multi-process deployment mode, where each process
+// runs one replica of every shard and a networked transport (one
+// implementing the Transport seam over real connections, such as the
+// daemon's TCP transport) carries gossip to the others. Remote replica
+// indices become lightweight stubs: gossip targets them through the
+// transport, States and Converged report only local knowledge, and
+// Close touches only local stores.
+func WithLocalReplicas(idxs ...int) Option { return core.WithLocalReplicas(idxs...) }
+
+// NodeID names shard s's replica rep on a transport, matching the
+// cluster's own naming: "r1" when shards is 1, "s2/r1" otherwise.
+// Networked transports use it to map peer processes to node names.
+func NodeID(shards, s, rep int) string { return core.NodeID(shards, s, rep) }
+
 // WithFoldCheckpointEvery sets how many folded entries separate the
 // periodic fold checkpoint snapshots (default 1024). Snapshots bound the
 // replay a behind-watermark gossip merge forces; 0 disables them.

@@ -1,0 +1,219 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one quicksandd daemon. It is safe for concurrent use.
+type Client struct {
+	base    string
+	token   string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithToken sets the bearer token sent on /v1 requests.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a failed request is retried (default
+// 3). Submits are safe to retry: the SDK assigns every op an ID before
+// the first attempt, so a retry that lands twice is deduplicated by the
+// replica.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// New builds a client for the daemon at base, e.g.
+// "http://127.0.0.1:8080". A bare host:port gets the http scheme.
+func New(base string, opts ...Option) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 10 * time.Second},
+		retries: 3,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// newOpID mints a client-side idempotency key.
+func newOpID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("client: crypto/rand unavailable: " + err.Error())
+	}
+	return "cli-" + hex.EncodeToString(b[:])
+}
+
+// APIError is a non-2xx response decoded from the daemon's error
+// envelope.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // stable slug from the envelope
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("quicksandd: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// retryable reports whether err (or an API error status) is worth
+// retrying: transport failures and 5xx yes, 4xx no.
+func retryable(err error) bool {
+	var ae *APIError
+	if ok := asAPIError(err, &ae); ok {
+		return ae.Status >= 500
+	}
+	return true
+}
+
+func asAPIError(err error, out **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}
+
+// do runs one JSON request with retries. Idempotency is the caller's
+// contract: every retried body must carry the same op IDs.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff << (attempt - 1)):
+			}
+		}
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil || !retryable(lastErr) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env ErrorEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return &APIError{Status: resp.StatusCode, Code: "internal", Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit offers one operation. A missing op ID is filled in before the
+// first attempt, so transport-level retries cannot double-apply the
+// business. Accepted=false with a Reason is a decline, not an error.
+func (c *Client) Submit(ctx context.Context, op Op, sync bool) (Result, error) {
+	if op.ID == "" {
+		op.ID = newOpID()
+	}
+	var res Result
+	err := c.do(ctx, http.MethodPost, "/v1/submit", SubmitRequest{Op: op, Sync: sync}, &res)
+	return res, err
+}
+
+// SubmitBatch offers many operations in one request; results come back
+// in op order. IDs are assigned client-side exactly as in Submit.
+func (c *Client) SubmitBatch(ctx context.Context, ops []Op, sync bool) ([]Result, error) {
+	withIDs := make([]Op, len(ops))
+	for i, op := range ops {
+		if op.ID == "" {
+			op.ID = newOpID()
+		}
+		withIDs[i] = op
+	}
+	var res BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/batch", BatchRequest{Ops: withIDs, Sync: sync}, &res)
+	return res.Results, err
+}
+
+// State fetches the daemon's locally derived state — a well-informed
+// guess, per the paper, not a global truth.
+func (c *Client) State(ctx context.Context) (StateResponse, error) {
+	var res StateResponse
+	err := c.do(ctx, http.MethodGet, "/v1/state", nil, &res)
+	return res, err
+}
+
+// Apologies fetches the daemon's apology queue.
+func (c *Client) Apologies(ctx context.Context) (ApologiesResponse, error) {
+	var res ApologiesResponse
+	err := c.do(ctx, http.MethodGet, "/v1/apologies", nil, &res)
+	return res, err
+}
+
+// Gossip asks the daemon to run one anti-entropy round immediately,
+// instead of waiting for its timer — useful when watching two daemons
+// catch up, and for tests that drive convergence deterministically.
+func (c *Client) Gossip(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/gossip", nil, nil)
+}
+
+// Health probes /healthz (no auth required).
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var res Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &res)
+	return res, err
+}

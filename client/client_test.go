@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSubmitRetriesAreIdempotent: the SDK assigns the op ID before the
+// first attempt, so when a 500 forces a retry, the daemon sees the SAME
+// op twice — which the engine dedupes — never two different ops.
+func TestSubmitRetriesAreIdempotent(t *testing.T) {
+	var calls atomic.Int32
+	var seen []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad body: %v", err)
+		}
+		seen = append(seen, req.ID)
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(ErrorEnvelope{Error: Error{Code: "internal", Message: "transient"}})
+			return
+		}
+		json.NewEncoder(w).Encode(Result{Accepted: true, ID: req.ID})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(2))
+	res, err := c.Submit(context.Background(), Op{Kind: "deposit", Key: "k", Arg: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("not accepted: %+v", res)
+	}
+	if len(seen) != 2 || seen[0] == "" || seen[0] != seen[1] {
+		t.Fatalf("retry changed the op identity: %v", seen)
+	}
+	if res.ID != seen[0] {
+		t.Fatalf("result ID %q != submitted ID %q", res.ID, seen[0])
+	}
+}
+
+// TestClientDoesNotRetry4xx: a decline-class status is the daemon's
+// answer, not a transient fault.
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ErrorEnvelope{Error: Error{Code: "bad_request", Message: "nope"}})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(3))
+	_, err := c.Submit(context.Background(), Op{Kind: "deposit", Key: "k", Arg: 1}, false)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != "bad_request" {
+		t.Fatalf("want bad_request APIError, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("client retried a 4xx %d times", n-1)
+	}
+}
+
+// TestBareHostPortGetsScheme: ops tooling passes bare host:port.
+func TestBareHostPortGetsScheme(t *testing.T) {
+	if c := New("127.0.0.1:8080"); c.base != "http://127.0.0.1:8080" {
+		t.Fatalf("base = %q", c.base)
+	}
+	if c := New("https://d0.example/"); c.base != "https://d0.example" {
+		t.Fatalf("base = %q", c.base)
+	}
+}
+
+// TestBearerTokenHeader: the token rides as Authorization: Bearer.
+func TestBearerTokenHeader(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("Authorization"); got != "Bearer hunter2" {
+			t.Errorf("Authorization = %q", got)
+		}
+		json.NewEncoder(w).Encode(StateResponse{Keys: map[string]int64{}})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithToken("hunter2"))
+	if _, err := c.State(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,7 @@ type benchReport struct {
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
 	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
 	Window      string        `json:"window_per_arm"`
 	Results     []benchResult `json:"results"`
 }
@@ -48,7 +49,11 @@ func newBenchReport(window time.Duration) *benchReport {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
-		Window:      window.String(),
+		// GOMAXPROCS can differ from NumCPU (cgroup limits, taskset,
+		// GOMAXPROCS env); live numbers are a function of the effective
+		// parallelism, so the fingerprint records both.
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Window:     window.String(),
 	}
 }
 

@@ -38,17 +38,26 @@ func main() {
 		liveDur = flag.Duration("liveduration", 500*time.Millisecond, "sampling window per row of the -live table")
 		shards  = flag.Int("shards", 4, "max shard count for the -live scaling curve, and the sharded arm of E14 in sim mode")
 		durable = flag.String("durable", "", "with -live: directory for per-replica disk stores; adds the durability/group-commit table")
-		jsonOut = flag.String("json", "", "with -live: also write machine-readable results (ops/s, ns/op, allocs/op, fsyncs/op per arm) to this file")
+		netArm  = flag.Bool("net", false, "measure the networked stack: SDK → HTTP → daemon with TCP gossip between two loopback daemons")
+		jsonOut = flag.String("json", "", "with -live/-net: also write machine-readable results (ops/s, ns/op, allocs/op, fsyncs/op per arm) to this file")
 	)
 	flag.Parse()
 
 	experiment.SetShards(*shards)
 
-	if *live {
+	if *live || *netArm {
 		report := newBenchReport(*liveDur)
-		runLiveBench(*liveDur, *shards, report)
-		if *durable != "" {
-			runLiveDurableBench(*liveDur, *durable, report)
+		if *live {
+			runLiveBench(*liveDur, *shards, report)
+			if *durable != "" {
+				runLiveDurableBench(*liveDur, *durable, report)
+			}
+		}
+		if *netArm {
+			if err := runNetBench(*liveDur, report); err != nil {
+				fmt.Fprintln(os.Stderr, "net bench failed:", err)
+				os.Exit(1)
+			}
 		}
 		if *jsonOut != "" {
 			if err := report.write(*jsonOut); err != nil {

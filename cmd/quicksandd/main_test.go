@@ -1,0 +1,345 @@
+package main
+
+// The end-to-end process test (the PR's acceptance bar): build the real
+// quicksandd binary, boot two daemons on loopback, drive a workload
+// through the SDK, SIGKILL one mid-workload, restart it from its data
+// dir, and prove the pair converges to exactly the per-key states and
+// apology count an in-process LiveTransport control cluster reaches on
+// the same script.
+//
+// Gossip is configured to a 1h interval and driven manually through
+// POST /v1/gossip, which makes the script deterministic: both daemons
+// admit the conflicting withdrawals against the converged balance
+// before any anti-entropy can tattle, so the overdraft — and therefore
+// the apology count — is forced, not timing-lucky.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/daemon"
+)
+
+const (
+	nDepositKeys  = 10 // k0..k9 seeded with 100
+	nOverdraft    = 5  // k0..k4 doubly withdrawn into overdraft
+	nLateDeposits = 5  // k10..k14 deposited while B is dead
+	seedAmount    = 100
+	drawAmount    = 80
+)
+
+func key(i int) string { return fmt.Sprintf("k%d", i) }
+
+// buildDaemon compiles the quicksandd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "quicksandd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build quicksandd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// proc is one spawned daemon.
+type proc struct {
+	t      *testing.T
+	bin    string
+	config string
+	cmd    *exec.Cmd
+}
+
+func (p *proc) start() {
+	p.t.Helper()
+	p.cmd = exec.Command(p.bin, "-config", p.config)
+	p.cmd.Stdout = os.Stderr
+	p.cmd.Stderr = os.Stderr
+	if err := p.cmd.Start(); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+// sigkill crashes the process the hard way and reaps it.
+func (p *proc) sigkill() {
+	p.t.Helper()
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// sigterm asks for a graceful drain and reports the exit error.
+func (p *proc) sigterm() error {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(15 * time.Second):
+		p.cmd.Process.Kill()
+		return fmt.Errorf("daemon did not drain within 15s of SIGTERM")
+	}
+}
+
+func waitHealthy(t *testing.T, c *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		h, err := c.Health(ctx)
+		cancel()
+		if err == nil && h.OK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func mustSubmit(t *testing.T, c *client.Client, op client.Op) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Submit(ctx, op, false)
+	if err != nil {
+		t.Fatalf("submit %+v: %v", op, err)
+	}
+	if !res.Accepted {
+		t.Fatalf("submit %+v declined: %s", op, res.Reason)
+	}
+}
+
+// convergeDaemons drives manual gossip on both daemons until their
+// /v1/state maps are identical (and non-empty), returning the agreed
+// state.
+func convergeDaemons(t *testing.T, ca, cb *client.Client) map[string]int64 {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		errA, errB := ca.Gossip(ctx), cb.Gossip(ctx)
+		sa, errSA := ca.State(ctx)
+		sb, errSB := cb.State(ctx)
+		cancel()
+		if errA == nil && errB == nil && errSA == nil && errSB == nil &&
+			len(sa.Keys) > 0 && reflect.DeepEqual(sa.Keys, sb.Keys) {
+			return sa.Keys
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemons never converged:\n  A(%v): %v\n  B(%v): %v", errSA, sa.Keys, errSB, sb.Keys)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runControl replays the same script against an in-process cluster on
+// the LiveTransport: the oracle the networked pair must match.
+func runControl(t *testing.T) (map[string]int64, int) {
+	t.Helper()
+	c := core.New[daemon.Accounts](daemon.AccountsApp{}, []core.Rule[daemon.Accounts]{daemon.NoOverdraft()},
+		core.WithTransport(core.NewLiveTransport()),
+		core.WithReplicas(2),
+		core.WithCallTimeout(500*time.Millisecond))
+	defer c.Close()
+	ctx := context.Background()
+
+	submit := func(rep int, op core.Op) {
+		t.Helper()
+		res, err := c.Submit(ctx, rep, op)
+		if err != nil || !res.Accepted {
+			t.Fatalf("control submit %+v at r%d: res=%+v err=%v", op, rep, res, err)
+		}
+	}
+	converge := func() {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !c.Converged() {
+			c.GossipRound()
+			if time.Now().After(deadline) {
+				t.Fatal("control cluster never converged")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Phase 1: seed deposits, split across replicas; converge.
+	for i := 0; i < nDepositKeys; i++ {
+		submit(i%2, core.NewOp("deposit", key(i), seedAmount))
+	}
+	converge()
+	// Phase 2: conflicting withdrawals admitted on both sides of the
+	// not-yet-gossiped window.
+	for i := 0; i < nOverdraft; i++ {
+		submit(0, core.NewOp("withdraw", key(i), drawAmount))
+		submit(1, core.NewOp("withdraw", key(i), drawAmount))
+	}
+	// Phase 3: replica 0 keeps taking business alone.
+	for i := nDepositKeys; i < nDepositKeys+nLateDeposits; i++ {
+		submit(0, core.NewOp("deposit", key(i), seedAmount))
+	}
+	// Phase 4: merge; the overdrafts surface as apologies.
+	converge()
+
+	return map[string]int64(c.States()[0]), c.Apologies.Total()
+}
+
+func TestTwoProcessClusterSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and boots processes")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	ports := freePorts(t, 4) // 0,1: peer listeners; 2,3: http
+	peerList := fmt.Sprintf("0=%s,1=%s", ports[0], ports[1])
+
+	writeConfig := func(node int) string {
+		path := filepath.Join(dir, fmt.Sprintf("node%d.yaml", node))
+		cfg := fmt.Sprintf(`# e2e node %d
+node: %d
+replicas: 2
+http_listen: %s
+peer_listen: %s
+peers: %s
+peer_token: mesh-secret
+api_token: api-secret
+data_dir: %s
+gossip_every: 1h  # manual rounds via /v1/gossip keep the script deterministic
+`, node, node, ports[2+node], ports[node], peerList, filepath.Join(dir, fmt.Sprintf("data%d", node)))
+		if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	pa := &proc{t: t, bin: bin, config: writeConfig(0)}
+	pb := &proc{t: t, bin: bin, config: writeConfig(1)}
+	pa.start()
+	t.Cleanup(func() {
+		if pa.cmd.ProcessState == nil {
+			pa.sigkill()
+		}
+	})
+	pb.start()
+	t.Cleanup(func() {
+		if pb.cmd.ProcessState == nil {
+			pb.sigkill()
+		}
+	})
+
+	ca := client.New("http://"+ports[2], client.WithToken("api-secret"))
+	cb := client.New("http://"+ports[3], client.WithToken("api-secret"))
+	waitHealthy(t, ca)
+	waitHealthy(t, cb)
+
+	// Phase 1: seed deposits through the SDK, split across daemons.
+	for i := 0; i < nDepositKeys; i++ {
+		c := ca
+		if i%2 == 1 {
+			c = cb
+		}
+		mustSubmit(t, c, client.Op{Kind: "deposit", Key: key(i), Arg: seedAmount})
+	}
+	agreed := convergeDaemons(t, ca, cb)
+	for i := 0; i < nDepositKeys; i++ {
+		if agreed[key(i)] != seedAmount {
+			t.Fatalf("after seeding, %s = %d, want %d", key(i), agreed[key(i)], seedAmount)
+		}
+	}
+
+	// Phase 2: both daemons admit a withdrawal against the same
+	// converged balance — individually sound guesses, jointly an
+	// overdraft (the paper's §5.2 in two processes).
+	for i := 0; i < nOverdraft; i++ {
+		mustSubmit(t, ca, client.Op{Kind: "withdraw", Key: key(i), Arg: drawAmount})
+		mustSubmit(t, cb, client.Op{Kind: "withdraw", Key: key(i), Arg: drawAmount})
+	}
+
+	// Phase 3: SIGKILL B mid-workload. A must keep accepting business.
+	pb.sigkill()
+	for i := nDepositKeys; i < nDepositKeys+nLateDeposits; i++ {
+		mustSubmit(t, ca, client.Op{Kind: "deposit", Key: key(i), Arg: seedAmount})
+	}
+	// A sync submit with the only peer dead must decline within the call
+	// timeout, not hang: the dead daemon is a partitioned replica.
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start := time.Now()
+		res, err := ca.Submit(ctx, client.Op{Kind: "deposit", Key: "sync-probe", Arg: 1}, true)
+		cancel()
+		if err != nil {
+			t.Fatalf("sync submit against dead peer errored at transport level: %v", err)
+		}
+		if res.Accepted {
+			t.Fatalf("sync submit succeeded with its only peer SIGKILLed: %+v", res)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("sync submit took %v against a dead peer; degradation must be bounded", elapsed)
+		}
+	}
+
+	// Phase 4: restart B from its data dir; crash recovery replays its
+	// journal (including the phase-2 withdrawals it acknowledged).
+	pb.start()
+	waitHealthy(t, cb)
+
+	// Phase 5: converge and compare against the in-process control.
+	final := convergeDaemons(t, ca, cb)
+	controlState, controlApologies := runControl(t)
+	delete(final, "sync-probe") // declined leftovers never fold, but keep the comparison honest
+	if !reflect.DeepEqual(final, controlState) {
+		t.Fatalf("networked state diverged from control:\n  net:     %v\n  control: %v", final, controlState)
+	}
+
+	apA, err := ca.Apologies(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apB, err := cb.Apologies(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apA.Total != controlApologies || apB.Total != controlApologies {
+		t.Fatalf("apology counts: A=%d B=%d control=%d", apA.Total, apB.Total, controlApologies)
+	}
+	if controlApologies != nOverdraft {
+		t.Fatalf("control found %d apologies, want %d (one per overdrawn key)", controlApologies, nOverdraft)
+	}
+
+	// Phase 6: graceful drain on SIGTERM, clean exits.
+	if err := pa.sigterm(); err != nil {
+		t.Fatalf("daemon A did not exit cleanly: %v", err)
+	}
+	if err := pb.sigterm(); err != nil {
+		t.Fatalf("daemon B did not exit cleanly: %v", err)
+	}
+}

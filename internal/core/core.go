@@ -53,6 +53,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -155,6 +156,7 @@ type config struct {
 	fsyncEvery  time.Duration // >0 timer group commit, 0 immediate coalescing, <0 fsync per op
 	snapEvery   int           // journaled entries between durable snapshots
 	ingestBatch int           // max ops per ingest-pipeline batch (0 = per-op path)
+	local       map[int]bool  // replica indices hosted by this process (nil = all)
 }
 
 // Option configures a Cluster at construction.
@@ -263,6 +265,25 @@ func WithFsyncEvery(d time.Duration) Option { return func(c *config) { c.fsyncEv
 // a batch. After Close, pipeline submits resolve as declined.
 func WithIngestBatch(n int) Option { return func(c *config) { c.ingestBatch = n } }
 
+// WithLocalReplicas declares that this process hosts only the given
+// replica indices (of every shard); the rest of the cluster lives in
+// other processes, reached through a transport that routes across
+// machine boundaries (netx.Transport). Remote replicas exist as
+// addressing stubs: they hold no state, open no store, and register no
+// handlers — gossip pushes to them travel the transport, and their
+// liveness is whatever Transport.IsUp reports. Submits must target a
+// local index; a submit routed at a remote replica declines. Without
+// this option every replica is local, which is the in-process behaviour
+// all previous tests pin.
+func WithLocalReplicas(idxs ...int) Option {
+	return func(c *config) {
+		c.local = make(map[int]bool, len(idxs))
+		for _, i := range idxs {
+			c.local[i] = true
+		}
+	}
+}
+
 // WithSnapshotEvery sets how many journaled operations separate durable
 // snapshots (default 4096). A snapshot is the ledger prefix serialized
 // in canonical fold order at a fold-checkpoint boundary — the "log as
@@ -349,7 +370,9 @@ func (g *shardGroup[S]) gossipRound() {
 	g.M.GossipRounds.Inc()
 	g.c.M.GossipRounds.Inc()
 	for _, rep := range g.reps {
-		if rep.node.Crashed() {
+		if rep.remote || rep.node.Crashed() {
+			// Remote replicas push from their own process; this one only
+			// pushes *to* them (below, as somebody's ring neighbour).
 			continue
 		}
 		for _, peer := range rep.gossipPeers {
@@ -360,11 +383,22 @@ func (g *shardGroup[S]) gossipRound() {
 	}
 }
 
-// converged reports whether every replica of this shard holds the same
-// operation set.
+// converged reports whether every locally hosted replica of this shard
+// holds the same operation set. Remote replicas' sets live in another
+// process and cannot be compared by reference; cross-process convergence
+// is observed through the daemon API (op counts and derived state),
+// never through this in-memory check.
 func (g *shardGroup[S]) converged() bool {
-	for i := 1; i < len(g.reps); i++ {
-		if !g.reps[0].sameOps(g.reps[i]) {
+	var first *Replica[S]
+	for _, r := range g.reps {
+		if r.remote {
+			continue
+		}
+		if first == nil {
+			first = r
+			continue
+		}
+		if !first.sameOps(r) {
 			return false
 		}
 	}
@@ -381,6 +415,12 @@ func nodeID(shards, s, rep int) string {
 	}
 	return fmt.Sprintf("s%d/r%d", s, rep)
 }
+
+// NodeID names the transport node for replica rep of shard s in a
+// cluster of the given shard count — the naming scheme New uses, made
+// public so an out-of-process transport can be configured with the same
+// addresses the cluster will dial (netx peers, daemon configs).
+func NodeID(shards, s, rep int) string { return nodeID(shards, s, rep) }
 
 // snapshotFn resolves how (and whether) the engine can clone a state, in
 // priority order: the App's own Snapshot method, plain assignment when S
@@ -487,7 +527,12 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	for s := 0; s < cfg.shards; s++ {
 		g := &shardGroup[S]{c: c, idx: s}
 		for i := 0; i < cfg.replicas; i++ {
-			g.reps = append(g.reps, newReplica(c, g, nodeID(cfg.shards, s, i)))
+			id := nodeID(cfg.shards, s, i)
+			if cfg.local == nil || cfg.local[i] {
+				g.reps = append(g.reps, newReplica(c, g, id))
+			} else {
+				g.reps = append(g.reps, newRemoteReplica(c, g, id))
+			}
 		}
 		// The gossip peer set of a ring replica: its successor and
 		// predecessor, the only nodes ever sent this replica's journal.
@@ -511,13 +556,18 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 		// writer per replica. Real pipelining (a drain goroutine) needs the
 		// live transport; every other world drains inline on the submitting
 		// goroutine, which keeps the simulator deterministic.
-		_, live := tr.(*LiveTransport)
+		live := wallClocked(tr)
 		capacity := 4 * cfg.ingestBatch
 		if capacity < 16 {
 			capacity = 16
 		}
 		for _, g := range c.groups {
 			for _, r := range g.reps {
+				if r.remote {
+					// Remote replicas ingest in their own process; a local
+					// writer goroutine would drain a queue nothing fills.
+					continue
+				}
 				// Inline replicas drain on the enqueueing goroutine, so
 				// their queue grows instead of exerting backpressure (see
 				// ingestQueue); only the live pipeline bounds producers.
@@ -639,6 +689,12 @@ func (c *Cluster[S]) ShardOf(key string) int { return c.smap.Of(key) }
 // Replica returns replica i of shard 0 — the whole cluster when
 // unsharded. Sharded callers address a specific group with ShardReplica.
 func (c *Cluster[S]) Replica(i int) *Replica[S] { return c.groups[0].reps[i] }
+
+// Local reports whether replica index i is hosted by this process —
+// always true unless the cluster was built with WithLocalReplicas.
+func (c *Cluster[S]) Local(i int) bool {
+	return i >= 0 && i < c.cfg.replicas && (c.cfg.local == nil || c.cfg.local[i])
+}
 
 // ShardReplica returns replica i of the given shard.
 func (c *Cluster[S]) ShardReplica(shard, i int) *Replica[S] { return c.groups[shard].reps[i] }
@@ -850,6 +906,14 @@ func (c *Cluster[S]) SubmitAsync(replica int, op Op, done func(Result), opts ...
 // after the operation's journal record is fsynced (an accepted result
 // is a durable result).
 func (c *Cluster[S]) dispatch(rep *Replica[S], op Op, sc submitConfig, done func(Result)) {
+	if rep.remote {
+		// The submit was routed at a replica another process hosts. The
+		// engine never proxies ingest across the transport — a client talks
+		// to the daemon that owns its target replica (the SDK's job) — so
+		// this is a routing error, reported as a decline.
+		done(Result{Op: op, Reason: "replica " + rep.id + " is not hosted by this process"})
+		return
+	}
 	op = c.stampIngress(rep, op, sc)
 	if rep.node.Crashed() {
 		done(Result{Op: op, Reason: "replica down"})
@@ -1004,7 +1068,12 @@ func (c *Cluster[S]) StopGossip() {
 // fsynced, and closed gracefully, so a later New with the same
 // WithDurability directory cold-starts from exactly this state.
 // Replicas and their in-memory state remain readable.
-func (c *Cluster[S]) Close() {
+//
+// The returned error joins every replica's store-close failure: a final
+// flush that could not land means the directory does NOT hold everything
+// that was acknowledged, and a graceful shutdown (the daemon's drain
+// path) must be able to report that instead of silently losing it.
+func (c *Cluster[S]) Close() error {
 	c.StopGossip()
 	for _, g := range c.groups {
 		for _, r := range g.reps {
@@ -1016,11 +1085,15 @@ func (c *Cluster[S]) Close() {
 		}
 	}
 	c.ingestWG.Wait()
+	var errs []error
 	for _, g := range c.groups {
 		for _, r := range g.reps {
-			r.closeStore()
+			if err := r.closeStore(); err != nil {
+				errs = append(errs, fmt.Errorf("replica %s: %w", r.id, err))
+			}
 		}
 	}
+	return errors.Join(errs...)
 }
 
 // Converged reports whether every shard has converged: within each
@@ -1047,11 +1120,15 @@ func (c *Cluster[S]) ShardConverged(shard int) bool { return c.groups[shard].con
 // the keys its shard owns; merging the per-shard states key-by-key
 // reconstructs what an unsharded run would hold (the differential tests
 // prove this equivalence).
+// Remote replicas (WithLocalReplicas) are skipped — their states live in
+// another process — so a partial host's slice covers only what it holds.
 func (c *Cluster[S]) States() []S {
 	out := make([]S, 0, len(c.groups)*c.cfg.replicas)
 	for _, g := range c.groups {
 		for _, r := range g.reps {
-			out = append(out, r.State())
+			if !r.remote {
+				out = append(out, r.State())
+			}
 		}
 	}
 	return out
@@ -1061,9 +1138,11 @@ func (c *Cluster[S]) States() []S {
 // group.
 func (c *Cluster[S]) ShardStates(shard int) []S {
 	g := c.groups[shard]
-	out := make([]S, len(g.reps))
-	for i, r := range g.reps {
-		out[i] = r.State()
+	out := make([]S, 0, len(g.reps))
+	for _, r := range g.reps {
+		if !r.remote {
+			out = append(out, r.State())
+		}
 	}
 	return out
 }

@@ -35,11 +35,12 @@ type (
 // therefore cannot deadlock, at the usual eventual-consistency price: an
 // admission check is a guess against a snapshot, exactly as §5.1 demands.
 type Replica[S any] struct {
-	c    *Cluster[S]
-	g    *shardGroup[S] // the shard this replica serves
-	id   string
-	node Node
-	gen  *uniq.Gen
+	c      *Cluster[S]
+	g      *shardGroup[S] // the shard this replica serves
+	id     string
+	node   Node
+	gen    *uniq.Gen
+	remote bool // hosted by another process (WithLocalReplicas): an addressing stub
 
 	// gossipPeers is the fixed set of peers this replica ever pushes its
 	// journal to: its ring successor and predecessor within the shard
@@ -151,6 +152,47 @@ func newReplica[S any](c *Cluster[S], g *shardGroup[S], id string) *Replica[S] {
 	r.node.Handle("admit", r.handleAdmit)
 	r.node.Handle("apply", r.handleApply)
 	return r
+}
+
+// newRemoteReplica builds the addressing stub for a replica hosted by
+// another process (WithLocalReplicas): it occupies the replica's slot in
+// the shard group — so ring neighbours, sync-coordination peer lists,
+// and gossip targets are computed identically in every process — but it
+// holds no state, opens no store, and registers no transport node.
+// Everything that would touch its state is gated on the remote flag;
+// messages addressed to it are the transport's to route.
+func newRemoteReplica[S any](c *Cluster[S], g *shardGroup[S], id string) *Replica[S] {
+	return &Replica[S]{
+		c:      c,
+		g:      g,
+		id:     id,
+		remote: true,
+		gen:    uniq.NewGen(id),
+		ops:    oplog.NewSet(),
+		sentTo: make(map[string]int),
+		node:   &remoteNode{tr: c.tr, id: id},
+	}
+}
+
+// remoteNode stands in for a Node another process registered. Liveness
+// is the transport's best knowledge of the peer (IsUp); everything else
+// is a programming error — a remote stub never serves handlers and never
+// originates calls from this process.
+type remoteNode struct {
+	tr Transport
+	id string
+}
+
+func (n *remoteNode) ID() string    { return n.id }
+func (n *remoteNode) Crashed() bool { return !n.tr.IsUp(n.id) }
+func (n *remoteNode) Handle(method string, h Handler) {
+	panic(fmt.Sprintf("quicksand: Handle(%q) on remote replica %s", method, n.id))
+}
+func (n *remoteNode) Call(to, method string, req any, done func(any, bool)) {
+	panic(fmt.Sprintf("quicksand: Call from remote replica %s", n.id))
+}
+func (n *remoteNode) Broadcast(to []string, method string, req any, done func([]any, int)) {
+	panic(fmt.Sprintf("quicksand: Broadcast from remote replica %s", n.id))
 }
 
 // seedFromDisk rebuilds the replica's in-memory world from a store
@@ -874,6 +916,9 @@ func (r *Replica[S]) Kill() {
 // their journals for it (an unacknowledged prefix is never truncated),
 // and it re-pushes its own retained suffix, which peers dedupe.
 func (r *Replica[S]) Recover(ctx context.Context) error {
+	if r.remote {
+		return fmt.Errorf("quicksand: replica %s is hosted by another process; recover it there", r.id)
+	}
 	if r.c.cfg.durableDir == "" {
 		return fmt.Errorf("quicksand: replica %s has no durable store to recover from (use WithDurability)", r.id)
 	}
@@ -907,15 +952,19 @@ func (r *Replica[S]) Recover(ctx context.Context) error {
 }
 
 // closeStore gracefully flushes and closes the durable store, leaving
-// the directory ready for a cold start.
-func (r *Replica[S]) closeStore() {
+// the directory ready for a cold start. A non-nil error means the final
+// flush (or the file close behind it) failed: the directory may be
+// missing acknowledged entries, which the caller must surface rather
+// than swallow.
+func (r *Replica[S]) closeStore() error {
 	r.mu.Lock()
 	st := r.store
 	r.store = nil
 	r.mu.Unlock()
-	if st != nil {
-		st.Close()
+	if st == nil {
+		return nil
 	}
+	return st.Close()
 }
 
 // StoreStats reports the replica's durable-store disk counters; ok is

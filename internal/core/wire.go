@@ -1,0 +1,190 @@
+package core
+
+// The wire codec: binary encode/decode for the replica-to-replica
+// messages (gossip push, sync admit, sync apply, and their acks) so a
+// transport that crosses process boundaries — internal/netx's TCP
+// transport — can carry exactly the traffic the in-process transports
+// pass by reference. The per-entry bytes reuse the oplog binary codec,
+// the same encoding the disk journal frames; a field added to
+// oplog.Entry fails loudly in both codecs' tests instead of silently
+// diverging between disk and wire.
+//
+// The message types themselves stay unexported: the codec is the only
+// surface a transport needs, and it keeps the message set closed — an
+// unknown tag on the wire is a protocol error, never a silent skip.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/oplog"
+)
+
+// Message tags. The tag is the first byte of every encoded message;
+// appending a new message type means appending a tag here, a case in
+// AppendMessage and DecodeMessage, and a round-trip in wire_test.go.
+const (
+	wireTagPush     = 1 // pushReq: anti-entropy journal suffix
+	wireTagPushAck  = 2 // pushAck: durable-absorb acknowledgement
+	wireTagAdmit    = 3 // admitReq: sync-coordination admission probe
+	wireTagAdmitAck = 4 // admitAck
+	wireTagApply    = 5 // applyReq: sync-coordination apply
+)
+
+// AppendMessage appends the binary encoding of one wire message to buf
+// and returns the extended slice. It errors on anything that is not one
+// of the engine's replica-to-replica messages — a transport asked to
+// carry an unknown payload is misconfigured, and that should be loud.
+func AppendMessage(buf []byte, msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case pushReq:
+		buf = append(buf, wireTagPush)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			buf = binary.AppendUvarint(buf, uint64(oplog.EntrySize(e)))
+			buf = oplog.AppendEntry(buf, e)
+		}
+		return buf, nil
+	case pushAck:
+		return append(buf, wireTagPushAck, encodeBool(m.OK)), nil
+	case admitReq:
+		return appendEntryMsg(buf, wireTagAdmit, m.Op), nil
+	case admitAck:
+		return append(buf, wireTagAdmitAck, encodeBool(m.OK)), nil
+	case applyReq:
+		return appendEntryMsg(buf, wireTagApply, m.Op), nil
+	}
+	return nil, fmt.Errorf("core: cannot encode message type %T", msg)
+}
+
+// MessageSize reports the exact encoded length of msg, so a framing
+// layer can preallocate its buffer (and its length prefix) in one pass.
+// Unknown types report 0; AppendMessage is where they fail loudly.
+func MessageSize(msg any) int {
+	switch m := msg.(type) {
+	case pushReq:
+		n := 1 + uvarintSize(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			es := oplog.EntrySize(e)
+			n += uvarintSize(uint64(es)) + es
+		}
+		return n
+	case pushAck, admitAck:
+		return 2
+	case admitReq:
+		return entryMsgSize(m.Op)
+	case applyReq:
+		return entryMsgSize(m.Op)
+	}
+	return 0
+}
+
+// DecodeMessage decodes one wire message occupying the whole of b.
+// Trailing bytes are an error: a frame that decodes but does not consume
+// its payload is corrupt.
+func DecodeMessage(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("core: empty wire message")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case wireTagPush:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, fmt.Errorf("core: truncated push count")
+		}
+		b = b[sz:]
+		// Cap the preallocation: n comes off the wire, and a corrupt count
+		// must not become a giant allocation before decode fails.
+		capHint := n
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		entries := make([]oplog.Entry, 0, capHint)
+		for i := uint64(0); i < n; i++ {
+			var e oplog.Entry
+			var err error
+			e, b, err = decodeSizedEntry(b)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+		}
+		if len(b) != 0 {
+			return nil, fmt.Errorf("core: %d trailing bytes after push", len(b))
+		}
+		return pushReq{Entries: entries}, nil
+	case wireTagPushAck:
+		ok, err := decodeBoolMsg(b, "push ack")
+		return pushAck{OK: ok}, err
+	case wireTagAdmit:
+		op, err := decodeEntryMsg(b, "admit")
+		return admitReq{Op: op}, err
+	case wireTagAdmitAck:
+		ok, err := decodeBoolMsg(b, "admit ack")
+		return admitAck{OK: ok}, err
+	case wireTagApply:
+		op, err := decodeEntryMsg(b, "apply")
+		return applyReq{Op: op}, err
+	}
+	return nil, fmt.Errorf("core: unknown wire message tag %d", tag)
+}
+
+func appendEntryMsg(buf []byte, tag byte, e oplog.Entry) []byte {
+	buf = append(buf, tag)
+	buf = binary.AppendUvarint(buf, uint64(oplog.EntrySize(e)))
+	return oplog.AppendEntry(buf, e)
+}
+
+func entryMsgSize(e oplog.Entry) int {
+	es := oplog.EntrySize(e)
+	return 1 + uvarintSize(uint64(es)) + es
+}
+
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func encodeBool(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// decodeSizedEntry decodes one length-prefixed entry from the front of
+// b, returning the remainder.
+func decodeSizedEntry(b []byte) (oplog.Entry, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return oplog.Entry{}, nil, fmt.Errorf("core: truncated entry frame")
+	}
+	e, err := oplog.DecodeEntry(b[sz : sz+int(n)])
+	if err != nil {
+		return oplog.Entry{}, nil, err
+	}
+	return e, b[sz+int(n):], nil
+}
+
+func decodeEntryMsg(b []byte, what string) (oplog.Entry, error) {
+	e, rest, err := decodeSizedEntry(b)
+	if err != nil {
+		return oplog.Entry{}, err
+	}
+	if len(rest) != 0 {
+		return oplog.Entry{}, fmt.Errorf("core: %d trailing bytes after %s", len(rest), what)
+	}
+	return e, nil
+}
+
+func decodeBoolMsg(b []byte, what string) (bool, error) {
+	if len(b) != 1 {
+		return false, fmt.Errorf("core: bad %s length %d", what, len(b))
+	}
+	return b[0] != 0, nil
+}

@@ -1,0 +1,142 @@
+// Package daemon hosts a slice of a quicksand cluster behind a
+// versioned HTTP API. One daemon process runs replica index Node of
+// every shard; its peers run the other indices, reached over the netx
+// TCP transport. The application is fixed (Accounts + NoOverdraft — the
+// paper's running example), so any two daemons with the same config fold
+// identically.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netx"
+)
+
+// Daemon is one running quicksandd process: transport + cluster slice +
+// HTTP front end. Build with New (which binds both listeners), stop with
+// Close (which drains before it returns).
+type Daemon struct {
+	cfg        Config
+	tr         *netx.Transport
+	cluster    *core.Cluster[Accounts]
+	httpLn     net.Listener
+	srv        *http.Server
+	stopGossip func()
+	started    time.Time
+}
+
+// New wires a daemon up and starts serving: the peer TCP listener, the
+// replica slice (recovering any durable state in cfg.DataDir), the
+// gossip schedule, and the HTTP API.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	peers := make(map[string]string)
+	for i, addr := range cfg.Peers {
+		if i == cfg.Node {
+			continue
+		}
+		for s := 0; s < cfg.Shards; s++ {
+			peers[core.NodeID(cfg.Shards, s, i)] = addr
+		}
+	}
+	tr, err := netx.New(netx.Config{
+		Listen: cfg.PeerListen,
+		Peers:  peers,
+		Token:  cfg.PeerToken,
+		Logf:   cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.Option{
+		core.WithTransport(tr),
+		core.WithReplicas(cfg.Replicas),
+		core.WithLocalReplicas(cfg.Node),
+		core.WithCallTimeout(cfg.CallTimeout),
+	}
+	if cfg.Shards > 1 {
+		opts = append(opts, core.WithShards(cfg.Shards))
+	}
+	if cfg.DataDir != "" {
+		opts = append(opts, core.WithDurability(cfg.DataDir))
+		if cfg.FsyncEvery != 0 {
+			opts = append(opts, core.WithFsyncEvery(cfg.FsyncEvery))
+		}
+		if cfg.SnapshotEvery > 0 {
+			opts = append(opts, core.WithSnapshotEvery(cfg.SnapshotEvery))
+		}
+	}
+	if cfg.IngestBatch > 0 {
+		opts = append(opts, core.WithIngestBatch(cfg.IngestBatch))
+	}
+	cluster := core.New[Accounts](AccountsApp{}, []core.Rule[Accounts]{NoOverdraft()}, opts...)
+	d := &Daemon{
+		cfg:     cfg,
+		tr:      tr,
+		cluster: cluster,
+		started: time.Now(),
+	}
+	d.stopGossip = cluster.StartGossip(cfg.GossipEvery)
+	ln, err := net.Listen("tcp", cfg.HTTPListen)
+	if err != nil {
+		d.stopGossip()
+		cluster.Close()
+		tr.Close()
+		return nil, fmt.Errorf("daemon: http listen %s: %w", cfg.HTTPListen, err)
+	}
+	d.httpLn = ln
+	d.srv = &http.Server{
+		Handler:           d.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go d.srv.Serve(ln)
+	cfg.logf("quicksandd: node %d serving http on %s, peers on %s", cfg.Node, d.HTTPAddr(), d.PeerAddr())
+	return d, nil
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// HTTPAddr is the bound client-facing address (useful with ":0").
+func (d *Daemon) HTTPAddr() string { return d.httpLn.Addr().String() }
+
+// PeerAddr is the bound replica-traffic address.
+func (d *Daemon) PeerAddr() string { return d.tr.Addr() }
+
+// Cluster exposes the hosted cluster slice (tests and the -net bench).
+func (d *Daemon) Cluster() *core.Cluster[Accounts] { return d.cluster }
+
+// Close shuts the daemon down in drain order: stop accepting HTTP work,
+// stop scheduling gossip, then close the cluster — which drains the
+// ingest ring and flushes + fsyncs every journal — and finally tear the
+// peer transport down. The returned error aggregates anything that
+// refused to close cleanly (a store flush failure here means durable
+// state may be behind acknowledged writes — worth a loud exit status).
+func (d *Daemon) Close() error {
+	var errs []error
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(shutdownCtx); err != nil {
+		errs = append(errs, fmt.Errorf("http shutdown: %w", err))
+	}
+	d.stopGossip()
+	if err := d.cluster.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("cluster close: %w", err))
+	}
+	if err := d.tr.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("transport close: %w", err))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,401 @@
+package daemon
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(`
+# node zero of a two-daemon cluster
+node: 0
+replicas: 2
+shards: 4
+http_listen: 127.0.0.1:8080
+peer_listen: 127.0.0.1:7000
+peers: 0=127.0.0.1:7000, 1=127.0.0.1:7001
+peer_token: s3cret
+api_token: hunter2
+data_dir: /var/lib/quicksand/n0
+gossip_every: 25ms
+fsync_every: 2ms
+call_timeout: 250ms
+ingest_batch: 64
+snapshot_every: 2048
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Node != 0 || cfg.Replicas != 2 || cfg.Shards != 4 {
+		t.Fatalf("topology misparsed: %+v", cfg)
+	}
+	if cfg.Peers[1] != "127.0.0.1:7001" {
+		t.Fatalf("peers misparsed: %v", cfg.Peers)
+	}
+	if cfg.GossipEvery != 25*time.Millisecond || cfg.FsyncEvery != 2*time.Millisecond {
+		t.Fatalf("durations misparsed: %+v", cfg)
+	}
+	if cfg.APIToken != "hunter2" || cfg.PeerToken != "s3cret" {
+		t.Fatalf("tokens misparsed: %+v", cfg)
+	}
+	if got := FormatPeers(cfg.Peers); got != "0=127.0.0.1:7000,1=127.0.0.1:7001" {
+		t.Fatalf("FormatPeers = %q", got)
+	}
+	if err := cfg.withDefaults().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseConfigRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"node 0",     // missing colon
+		"nodes: 0",   // unknown key
+		"node: zero", // not an int
+		"gossip_every: fast" /* not a duration */} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestValidateCatchesBadTopology(t *testing.T) {
+	if err := (Config{Node: 2, Replicas: 2}).withDefaults().Validate(); err == nil {
+		t.Error("node out of range accepted")
+	}
+	if err := (Config{Node: 0, Replicas: 2}).withDefaults().Validate(); err == nil {
+		t.Error("missing peer address accepted")
+	}
+	if err := (Config{Node: 0, Replicas: 2, Peers: map[int]string{1: "x:1", 7: "y:2"}}).withDefaults().Validate(); err == nil {
+		t.Error("out-of-range peer index accepted")
+	}
+}
+
+// soloDaemon boots a single-replica daemon on ephemeral ports.
+func soloDaemon(t *testing.T, mutate func(*Config)) *Daemon {
+	t.Helper()
+	cfg := Config{
+		Node:       0,
+		Replicas:   1,
+		HTTPListen: "127.0.0.1:0",
+		PeerListen: "127.0.0.1:0",
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDaemonHTTPRoundTrip(t *testing.T) {
+	d := soloDaemon(t, nil)
+	c := client.New("http://" + d.HTTPAddr())
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil || !h.OK {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+
+	res, err := c.Submit(ctx, client.Op{Kind: "deposit", Key: "acct", Arg: 500}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.ID == "" {
+		t.Fatalf("deposit not accepted: %+v", res)
+	}
+
+	// Idempotent re-submit: same ID, no double-apply.
+	res2, err := c.Submit(ctx, client.Op{Kind: "deposit", Key: "acct", Arg: 500, ID: res.ID}, false)
+	if err != nil || !res2.Accepted {
+		t.Fatalf("idempotent retry declined: %+v, %v", res2, err)
+	}
+
+	// Overdraft declined by the local guess.
+	res3, err := c.Submit(ctx, client.Op{Kind: "withdraw", Key: "acct", Arg: 900}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Accepted || !strings.Contains(res3.Reason, "no-overdraft") {
+		t.Fatalf("overdraft not declined by rule: %+v", res3)
+	}
+
+	st, err := c.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys["acct"] != 500 {
+		t.Fatalf("state = %v, want acct=500 (dedup must not double-apply)", st.Keys)
+	}
+
+	batch := []client.Op{
+		{Kind: "deposit", Key: "a", Arg: 1},
+		{Kind: "deposit", Key: "b", Arg: 2},
+		{Kind: "withdraw", Key: "a", Arg: 1},
+	}
+	results, err := c.SubmitBatch(ctx, batch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("batch results = %d, want 3", len(results))
+	}
+	for i, r := range results {
+		if !r.Accepted {
+			t.Fatalf("batch op %d declined: %+v", i, r)
+		}
+	}
+
+	ap, err := c.Apologies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Total != 0 {
+		t.Fatalf("apologies = %+v, want none (nothing went negative)", ap)
+	}
+}
+
+func TestDaemonBearerAuth(t *testing.T) {
+	d := soloDaemon(t, func(c *Config) { c.APIToken = "hunter2" })
+	ctx := context.Background()
+
+	// Wrong token: uniform 401 with the error envelope.
+	bad := client.New("http://"+d.HTTPAddr(), client.WithToken("wrong"), client.WithRetries(0))
+	_, err := bad.State(ctx)
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Status != http.StatusUnauthorized || apiErr.Code != "unauthorized" {
+		t.Fatalf("want 401 unauthorized envelope, got %v", err)
+	}
+	if _, err := bad.Health(ctx); err != nil {
+		t.Fatalf("healthz must stay tokenless: %v", err)
+	}
+
+	good := client.New("http://"+d.HTTPAddr(), client.WithToken("hunter2"))
+	if _, err := good.State(ctx); err != nil {
+		t.Fatalf("right token rejected: %v", err)
+	}
+}
+
+func TestDaemonRejectsUnknownFieldsAndBadOps(t *testing.T) {
+	d := soloDaemon(t, nil)
+	c := client.New("http://"+d.HTTPAddr(), client.WithRetries(0))
+	ctx := context.Background()
+
+	resp, err := http.Post("http://"+d.HTTPAddr()+"/v1/submit", "application/json",
+		strings.NewReader(`{"kind":"deposit","key":"k","arg":1,"typo_field":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field got %d, want 400", resp.StatusCode)
+	}
+
+	if _, err := c.Submit(ctx, client.Op{Key: "k", Arg: 1}, false); err == nil {
+		t.Fatal("op without kind accepted")
+	}
+	if _, err := c.SubmitBatch(ctx, nil, false); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestDaemonMetricsExposition(t *testing.T) {
+	d := soloDaemon(t, nil)
+	c := client.New("http://" + d.HTTPAddr())
+	if _, err := c.Submit(context.Background(), client.Op{Kind: "deposit", Key: "k", Arg: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + d.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{
+		"quicksand_submits_accepted_total 1",
+		"# TYPE quicksand_async_submit_seconds summary",
+		"quicksand_journal_fsyncs_total",
+		"quicksand_apologies_total 0",
+		"quicksand_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// freePorts reserves n distinct loopback ports by binding and releasing
+// them — the usual racy-but-reliable trick for wiring two daemons that
+// must know each other's address before either starts.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestTwoDaemonsConvergeInProcess wires two Daemon values (full HTTP +
+// TCP stacks, same process) into one cluster and drives them to
+// convergence through the public API only.
+func TestTwoDaemonsConvergeInProcess(t *testing.T) {
+	ports := freePorts(t, 2)
+	peers := map[int]string{0: ports[0], 1: ports[1]}
+	mk := func(node int) *Daemon {
+		d, err := New(Config{
+			Node:        node,
+			Replicas:    2,
+			HTTPListen:  "127.0.0.1:0",
+			PeerListen:  ports[node],
+			Peers:       peers,
+			PeerToken:   "mesh",
+			GossipEvery: time.Hour, // manual rounds via /v1/gossip
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	da, db := mk(0), mk(1)
+	ca := client.New("http://" + da.HTTPAddr())
+	cb := client.New("http://" + db.HTTPAddr())
+	ctx := context.Background()
+
+	if _, err := ca.Submit(ctx, client.Op{Kind: "deposit", Key: "x", Arg: 10}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Submit(ctx, client.Op{Kind: "deposit", Key: "x", Arg: 20}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := ca.Gossip(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Gossip(ctx); err != nil {
+			t.Fatal(err)
+		}
+		sa, errA := ca.State(ctx)
+		sb, errB := cb.State(ctx)
+		if errA == nil && errB == nil && sa.Keys["x"] == 30 && sb.Keys["x"] == 30 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence: A=%v B=%v", sa.Keys, sb.Keys)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDoctorOnHealthyConfig(t *testing.T) {
+	checks := Doctor(Config{
+		Node:       0,
+		Replicas:   1,
+		HTTPListen: "127.0.0.1:0",
+		PeerListen: "127.0.0.1:0",
+		DataDir:    t.TempDir(),
+	})
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check %s failed: %s", c.Name, c.Detail)
+		}
+	}
+	// Expect the durability checks to have actually run.
+	names := make(map[string]bool)
+	for _, c := range checks {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"config", "data-dir-writable", "fsync", "http-port", "peer-port"} {
+		if !names[want] {
+			t.Errorf("doctor skipped check %s (got %v)", want, names)
+		}
+	}
+}
+
+func TestDoctorFlagsUnreachablePeer(t *testing.T) {
+	checks := Doctor(Config{
+		Node:       0,
+		Replicas:   2,
+		HTTPListen: "127.0.0.1:0",
+		PeerListen: "127.0.0.1:0",
+		// A port from the reserved-but-released pool: nothing listens.
+		Peers: map[int]string{1: freePorts(t, 1)[0]},
+	})
+	found := false
+	for _, c := range checks {
+		if c.Name == "peer-1" {
+			found = true
+			if c.OK {
+				t.Errorf("unreachable peer reported healthy: %+v", c)
+			}
+			if !c.Advisory {
+				t.Errorf("unreachable peer should be advisory, not fatal: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("doctor never probed peer-1")
+	}
+}
+
+// TestDaemonGracefulRestartKeepsState: Close flushes; a new daemon on
+// the same data dir cold-starts with the accepted state.
+func TestDaemonGracefulRestartKeepsState(t *testing.T) {
+	dir := t.TempDir()
+	ports := freePorts(t, 1)
+	mk := func() *Daemon {
+		d, err := New(Config{
+			Node:       0,
+			Replicas:   1,
+			HTTPListen: "127.0.0.1:0",
+			PeerListen: ports[0],
+			DataDir:    dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d := mk()
+	c := client.New("http://" + d.HTTPAddr())
+	if _, err := c.Submit(context.Background(), client.Op{Kind: "deposit", Key: "k", Arg: 41}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+
+	d2 := mk()
+	defer d2.Close()
+	c2 := client.New("http://" + d2.HTTPAddr())
+	st, err := c2.State(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys["k"] != 41 {
+		t.Fatalf("state after restart = %v, want k=41", st.Keys)
+	}
+}

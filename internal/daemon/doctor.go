@@ -1,0 +1,117 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Check is one doctor finding.
+type Check struct {
+	Name   string // short slug, e.g. "data-dir-writable"
+	OK     bool
+	Detail string // what was verified, or what is wrong and how to fix it
+	// Advisory marks a failure that should not fail the doctor's exit
+	// status: the daemon would still run correctly, just degraded.
+	Advisory bool
+}
+
+// Doctor runs preflight checks for a daemon config without starting
+// one: directory permissions, real fsync capability on the data dir's
+// filesystem, and whether the configured ports can be bound. It returns
+// every check (pass and fail) so `quicksand doctor` can print a full
+// bill of health; the caller fails if any Check.OK is false.
+func Doctor(cfg Config) []Check {
+	cfg = cfg.withDefaults()
+	var out []Check
+
+	if err := cfg.Validate(); err != nil {
+		out = append(out, Check{Name: "config", OK: false, Detail: err.Error()})
+	} else {
+		out = append(out, Check{Name: "config", OK: true, Detail: fmt.Sprintf("node %d of %d replicas, %d shard(s)", cfg.Node, cfg.Replicas, cfg.Shards)})
+	}
+
+	if cfg.DataDir == "" {
+		out = append(out, Check{Name: "data-dir", OK: true, Detail: "no data_dir configured: running memory-only (no durability)"})
+	} else {
+		out = append(out, checkDataDir(cfg.DataDir), checkFsync(cfg.DataDir))
+	}
+
+	out = append(out, checkBind("http-port", cfg.HTTPListen))
+	out = append(out, checkBind("peer-port", cfg.PeerListen))
+
+	for i, addr := range cfg.Peers {
+		if i == cfg.Node {
+			continue
+		}
+		out = append(out, checkPeerReachable(i, addr))
+	}
+	return out
+}
+
+// checkDataDir verifies the directory exists (creating it if needed) and
+// is writable.
+func checkDataDir(dir string) Check {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Check{Name: "data-dir-writable", Detail: fmt.Sprintf("cannot create %s: %v", dir, err)}
+	}
+	probe := filepath.Join(dir, ".doctor-probe")
+	if err := os.WriteFile(probe, []byte("probe"), 0o644); err != nil {
+		return Check{Name: "data-dir-writable", Detail: fmt.Sprintf("cannot write in %s: %v", dir, err)}
+	}
+	os.Remove(probe)
+	return Check{Name: "data-dir-writable", OK: true, Detail: dir}
+}
+
+// checkFsync verifies the filesystem under dir honors fsync — the
+// operation every durability guarantee in the engine reduces to.
+func checkFsync(dir string) Check {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Check{Name: "fsync", Detail: fmt.Sprintf("cannot create %s: %v", dir, err)}
+	}
+	probe := filepath.Join(dir, ".doctor-fsync")
+	defer os.Remove(probe)
+	f, err := os.Create(probe)
+	if err != nil {
+		return Check{Name: "fsync", Detail: fmt.Sprintf("cannot create probe file: %v", err)}
+	}
+	defer f.Close()
+	if _, err := f.WriteString("probe"); err != nil {
+		return Check{Name: "fsync", Detail: fmt.Sprintf("cannot write probe file: %v", err)}
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		return Check{Name: "fsync", Detail: fmt.Sprintf("fsync failed on %s: %v (durability would be a lie here)", dir, err)}
+	}
+	return Check{Name: "fsync", OK: true, Detail: fmt.Sprintf("fsync on %s took %v", dir, time.Since(start).Round(time.Microsecond))}
+}
+
+// checkBind verifies the address can be bound right now (then releases
+// it — a daemon started immediately after may still race another
+// process, but the common misconfigurations are caught).
+func checkBind(name, addr string) Check {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return Check{Name: name, Detail: fmt.Sprintf("cannot bind %s: %v", addr, err)}
+	}
+	bound := ln.Addr().String()
+	ln.Close()
+	return Check{Name: name, OK: true, Detail: "can bind " + bound}
+}
+
+// checkPeerReachable dials a configured peer. An unreachable peer is
+// not fatal to a daemon (it degrades to a partitioned replica) but the
+// doctor should say so before an operator wonders why nothing
+// converges — hence Advisory: reported, but it does not fail the exit
+// status, so preflighting the first daemon of a cluster passes.
+func checkPeerReachable(idx int, addr string) Check {
+	name := fmt.Sprintf("peer-%d", idx)
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return Check{Name: name, Advisory: true, Detail: fmt.Sprintf("%s unreachable: %v (the daemon still starts; it will gossip when the peer appears)", addr, err)}
+	}
+	conn.Close()
+	return Check{Name: name, OK: true, Detail: addr + " accepts connections"}
+}

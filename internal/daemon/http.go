@@ -1,0 +1,208 @@
+package daemon
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/client"
+	"repro/internal/apology"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/uniq"
+)
+
+// maxBody bounds request bodies; a batch of a few thousand ops fits in
+// well under this.
+const maxBody = 8 << 20
+
+func (d *Daemon) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", d.auth(d.handleSubmit))
+	mux.HandleFunc("POST /v1/batch", d.auth(d.handleBatch))
+	mux.HandleFunc("GET /v1/state", d.auth(d.handleState))
+	mux.HandleFunc("GET /v1/apologies", d.auth(d.handleApologies))
+	mux.HandleFunc("POST /v1/gossip", d.auth(d.handleGossip))
+	mux.HandleFunc("GET /healthz", d.handleHealth)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return mux
+}
+
+// auth enforces the bearer token on /v1 endpoints. Comparison is
+// constant-time; a missing or wrong token is a uniform 401.
+func (d *Daemon) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if d.cfg.APIToken != "" {
+			got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if subtle.ConstantTimeCompare([]byte(got), []byte(d.cfg.APIToken)) != 1 {
+				writeError(w, http.StatusUnauthorized, "unauthorized", "missing or invalid bearer token")
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, client.ErrorEnvelope{Error: client.Error{Code: code, Message: msg}})
+}
+
+// decodeBody parses a JSON body into v, rejecting unknown fields so a
+// typo'd request fails loudly instead of silently taking defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// toOp lifts an API op into an engine op.
+func toOp(op client.Op) core.Op {
+	return core.Op{
+		ID:   uniq.ID(op.ID),
+		Kind: op.Kind,
+		Key:  op.Key,
+		Arg:  op.Arg,
+		Note: op.Note,
+	}
+}
+
+// toResult lowers an engine result into the API shape.
+func toResult(res core.Result) client.Result {
+	return client.Result{
+		Accepted:  res.Accepted,
+		Reason:    res.Reason,
+		Sync:      res.Decision == policy.Sync,
+		ID:        string(res.Op.ID),
+		Lamport:   res.Op.Lam,
+		LatencyNS: res.Latency.Nanoseconds(),
+	}
+}
+
+func submitOptions(sync bool) []core.SubmitOption {
+	if sync {
+		return []core.SubmitOption{core.WithPolicy(policy.AlwaysSync())}
+	}
+	return nil
+}
+
+func validOp(w http.ResponseWriter, op client.Op) bool {
+	if op.Kind == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "op kind is required")
+		return false
+	}
+	return true
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req client.SubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !validOp(w, req.Op) {
+		return
+	}
+	res, err := d.cluster.Submit(r.Context(), d.cfg.Node, toOp(req.Op), submitOptions(req.Sync)...)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toResult(res))
+}
+
+func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req client.BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "batch has no ops")
+		return
+	}
+	ops := make([]core.Op, len(req.Ops))
+	for i, op := range req.Ops {
+		if !validOp(w, op) {
+			return
+		}
+		ops[i] = toOp(op)
+	}
+	results, err := d.cluster.SubmitBatch(r.Context(), d.cfg.Node, ops, submitOptions(req.Sync)...)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		return
+	}
+	out := client.BatchResponse{Results: make([]client.Result, len(results))}
+	for i, res := range results {
+		out.Results[i] = toResult(res)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *Daemon) handleState(w http.ResponseWriter, r *http.Request) {
+	// Merge the hosted replica's per-shard states; each shard owns a
+	// disjoint key range, so a plain union reconstructs the full map.
+	keys := make(map[string]int64)
+	for s := 0; s < d.cluster.Shards(); s++ {
+		for k, v := range d.cluster.ShardReplica(s, d.cfg.Node).State() {
+			keys[k] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, client.StateResponse{
+		Node:   d.cfg.Node,
+		Shards: d.cluster.Shards(),
+		Keys:   keys,
+	})
+}
+
+func toApologies(in []apology.Apology) []client.Apology {
+	out := make([]client.Apology, len(in))
+	for i, a := range in {
+		out[i] = client.Apology{
+			ID:      string(a.ID),
+			Rule:    a.Rule,
+			Detail:  a.Detail,
+			Key:     a.Key,
+			Amount:  a.Amount,
+			Replica: a.Replica,
+		}
+	}
+	return out
+}
+
+func (d *Daemon) handleApologies(w http.ResponseWriter, r *http.Request) {
+	q := d.cluster.Apologies
+	writeJSON(w, http.StatusOK, client.ApologiesResponse{
+		Total:     q.Total(),
+		Automated: toApologies(q.Automated()),
+		Human:     toApologies(q.Human()),
+	})
+}
+
+// handleGossip forces one anti-entropy round right now — an ops lever
+// ("make these two catch up while I watch") and the hook that lets
+// integration tests drive convergence deterministically instead of
+// sleeping through timer intervals.
+func (d *Daemon) handleGossip(w http.ResponseWriter, r *http.Request) {
+	d.cluster.GossipRound()
+	writeJSON(w, http.StatusOK, map[string]int{"rounds": 1})
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.Health{
+		OK:       true,
+		Node:     d.cfg.Node,
+		Shards:   d.cluster.Shards(),
+		Replicas: d.cluster.Replicas(),
+		PeerAddr: d.PeerAddr(),
+	})
+}

@@ -1,0 +1,66 @@
+package daemon
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the cluster's counters in the Prometheus text
+// exposition format — hand-rolled (no client library dependency), which
+// for counters and pre-computed quantiles is just lines of
+// "name{labels} value".
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	m := &d.cluster.M
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("quicksand_submits_accepted_total", "Operations accepted (guessed or coordinated).", m.Accepted.Value())
+	counter("quicksand_submits_declined_total", "Operations declined by a local admission guess.", m.Declined.Value())
+	counter("quicksand_sync_accepted_total", "Coordinated submits accepted by every replica.", m.SyncAccepted.Value())
+	counter("quicksand_sync_declined_total", "Coordinated submits refused or failed by coordination.", m.SyncDeclined.Value())
+	counter("quicksand_gossip_rounds_total", "Anti-entropy rounds run.", m.GossipRounds.Value())
+	counter("quicksand_gossip_ops_total", "Entries moved by gossip.", m.OpsTransferred.Value())
+	counter("quicksand_fold_steps_total", "App.Step invocations (state derivation cost).", m.FoldSteps.Value())
+	counter("quicksand_fold_rewinds_total", "Checkpoint rewinds forced by out-of-order merges.", m.FoldRewinds.Value())
+	counter("quicksand_fold_checkpoints_total", "Periodic fold checkpoints taken.", m.FoldCheckpoints.Value())
+
+	// Latency quantiles, in seconds per Prometheus convention.
+	quantiles := func(name, help string, p50, p99 time.Duration, count int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", name, p50.Seconds())
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %g\n", name, p99.Seconds())
+		fmt.Fprintf(&b, "%s_count %d\n", name, count)
+	}
+	quantiles("quicksand_async_submit_seconds", "Latency of async (guess) submits.",
+		m.AsyncLat.QuantileDur(0.50), m.AsyncLat.QuantileDur(0.99), m.AsyncLat.Count())
+	quantiles("quicksand_sync_submit_seconds", "Latency of coordinated submits.",
+		m.SyncLat.QuantileDur(0.50), m.SyncLat.QuantileDur(0.99), m.SyncLat.Count())
+
+	st := d.cluster.DurabilityStats()
+	counter("quicksand_journal_fsyncs_total", "Journal fsyncs completed (group commit).", st.Fsyncs)
+	counter("quicksand_journal_appends_total", "Entries staged for the journal.", st.Appended)
+	counter("quicksand_snapshots_total", "Durable snapshots written.", st.Snapshots)
+	counter("quicksand_snapshot_failures_total", "Snapshot attempts that could not reach disk.", st.SnapshotFailures)
+	counter("quicksand_torn_bytes_total", "Bytes truncated from torn journal tails at recovery.", st.TornBytes)
+
+	q := d.cluster.Apologies
+	counter("quicksand_apologies_total", "Business-rule violations discovered (deduplicated).", int64(q.Total()))
+	counter("quicksand_apologies_human_total", "Apologies escalated to humans.", int64(len(q.Human())))
+
+	gauge("quicksand_uptime_seconds", "Seconds since the daemon started.", time.Since(d.started).Seconds())
+	gauge("quicksand_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("quicksand_node_index", "Replica index this daemon hosts.", float64(d.cfg.Node))
+	gauge("quicksand_shards", "Shard count.", float64(d.cluster.Shards()))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

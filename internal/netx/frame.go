@@ -1,0 +1,187 @@
+package netx
+
+// The frame layer: every message on a peer connection is one
+// length-prefixed frame. The payload starts with a kind byte; request
+// and response payloads embed a core wire message (the same oplog-backed
+// binary codec the disk journal uses), so the bytes a replica gossips
+// across a socket are the bytes it would have journaled.
+//
+//	[uint32 big-endian payload length][payload]
+//
+//	hello: kind=2, string token          — first frame of every conn, both directions
+//	req:   kind=0, uvarint seq, string from, string to, string method, message
+//	resp:  kind=1, uvarint seq, message
+//
+// A reply is matched to its call by seq; seqs are per-transport, so
+// responses may return on any connection that reaches the caller (in
+// practice: the one the request went out on).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+const (
+	frameReq   = 0
+	frameResp  = 1
+	frameHello = 2
+
+	// maxFrame bounds a single frame so a corrupt or hostile length
+	// prefix cannot become a giant allocation. Gossip pushes are the
+	// largest traffic; 64 MiB is orders of magnitude above any batch the
+	// engine ships.
+	maxFrame = 64 << 20
+)
+
+// readFrame reads one length-prefixed payload.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("netx: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// connWriter serializes frame writes on one connection under a write
+// deadline, so a stalled peer fails the write instead of wedging every
+// goroutine that has a response to send.
+type connWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w *connWriter) write(frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timeout > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	_, err := w.conn.Write(frame)
+	return err
+}
+
+// frame prefixes payload with its length, producing one contiguous
+// buffer so the whole frame goes out in a single Write.
+func frame(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, fmt.Errorf("netx: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// encodeHello builds the authentication frame both sides send first.
+func encodeHello(token string) []byte {
+	payload := append([]byte{frameHello}, appendString(nil, token)...)
+	return frame(payload)
+}
+
+// decodeHello verifies a hello payload (kind byte already consumed).
+func decodeHello(b []byte) (token string, err error) {
+	token, rest, err := takeString(b)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("netx: %d trailing bytes after hello", len(rest))
+	}
+	return token, nil
+}
+
+// encodeReq builds a request frame carrying one core wire message.
+func encodeReq(seq uint64, from, to, method string, msg any) ([]byte, error) {
+	payload := make([]byte, 0, 32+len(from)+len(to)+len(method)+core.MessageSize(msg))
+	payload = append(payload, frameReq)
+	payload = binary.AppendUvarint(payload, seq)
+	payload = appendString(payload, from)
+	payload = appendString(payload, to)
+	payload = appendString(payload, method)
+	payload, err := core.AppendMessage(payload, msg)
+	if err != nil {
+		return nil, err
+	}
+	return frame(payload), nil
+}
+
+type request struct {
+	seq    uint64
+	from   string
+	to     string
+	method string
+	msg    any
+}
+
+// decodeReq parses a request payload (kind byte already consumed).
+func decodeReq(b []byte) (request, error) {
+	var r request
+	seq, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return r, fmt.Errorf("netx: truncated request seq")
+	}
+	b = b[sz:]
+	var err error
+	if r.from, b, err = takeString(b); err != nil {
+		return r, err
+	}
+	if r.to, b, err = takeString(b); err != nil {
+		return r, err
+	}
+	if r.method, b, err = takeString(b); err != nil {
+		return r, err
+	}
+	if r.msg, err = core.DecodeMessage(b); err != nil {
+		return r, err
+	}
+	r.seq = seq
+	return r, nil
+}
+
+// encodeResp builds a response frame for seq.
+func encodeResp(seq uint64, msg any) ([]byte, error) {
+	payload := make([]byte, 0, 16+core.MessageSize(msg))
+	payload = append(payload, frameResp)
+	payload = binary.AppendUvarint(payload, seq)
+	payload, err := core.AppendMessage(payload, msg)
+	if err != nil {
+		return nil, err
+	}
+	return frame(payload), nil
+}
+
+// decodeResp parses a response payload (kind byte already consumed).
+func decodeResp(b []byte) (seq uint64, msg any, err error) {
+	seq, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("netx: truncated response seq")
+	}
+	msg, err = core.DecodeMessage(b[sz:])
+	return seq, msg, err
+}
