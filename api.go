@@ -205,6 +205,13 @@ func WithDurability(dir string) Option { return core.WithDurability(dir) }
 // car-per-driver baseline kept for measuring what group commit saves.
 func WithFsyncEvery(d time.Duration) Option { return core.WithFsyncEvery(d) }
 
+// WithFsyncDelay injects d of extra latency before every journal fsync
+// — the slow-disk fault for chaos scenarios. Timing stretches, outcomes
+// do not: accepted sets, final states, and apology ledgers stay equal
+// to an undelayed run of the same operations. No effect without
+// WithDurability.
+func WithFsyncDelay(d time.Duration) Option { return core.WithFsyncDelay(d) }
+
 // WithIngestBatch routes asynchronous submits through a per-replica
 // single-writer ingest pipeline draining a bounded ring in batches of at
 // most n: the replica lock is taken once per batch, admission and fold

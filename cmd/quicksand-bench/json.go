@@ -28,6 +28,7 @@ type benchResult struct {
 	FsyncsPerOp float64 `json:"fsyncs_per_op"`    // the group-commit amortization figure
 	Converged   bool    `json:"converged"`        // did gossip quiesce afterwards
 	Window      string  `json:"window,omitempty"` // sampling duration per arm
+	GOMAXPROCS  int     `json:"gomaxprocs"`       // effective parallelism while THIS arm ran
 }
 
 // benchReport is the whole -json document.
@@ -62,6 +63,13 @@ func (r *benchReport) add(res benchResult) {
 		return
 	}
 	res.Window = r.Window
+	if res.GOMAXPROCS == 0 {
+		// Stamped at add time, immediately after the arm ran — NOT copied
+		// from the report header. A matrix-style sweep changes GOMAXPROCS
+		// between arms, so the startup fingerprint alone cannot describe a
+		// row; every row records the parallelism it actually measured.
+		res.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
 	r.Results = append(r.Results, res)
 }
 

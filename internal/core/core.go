@@ -154,6 +154,7 @@ type config struct {
 	fullRefold  bool          // disable checkpointed folds; replay from genesis
 	durableDir  string        // root of per-replica durable stores ("" = in-memory only)
 	fsyncEvery  time.Duration // >0 timer group commit, 0 immediate coalescing, <0 fsync per op
+	fsyncDelay  time.Duration // injected latency before every journal fsync (slow-disk fault)
 	snapEvery   int           // journaled entries between durable snapshots
 	ingestBatch int           // max ops per ingest-pipeline batch (0 = per-op path)
 	local       map[int]bool  // replica indices hosted by this process (nil = all)
@@ -240,6 +241,15 @@ func WithDurability(dir string) Option { return func(c *config) { c.durableDir =
 // d < 0 is the car-per-driver baseline — one fsync per operation — kept
 // for measuring what group commit saves.
 func WithFsyncEvery(d time.Duration) Option { return func(c *config) { c.fsyncEvery = d } }
+
+// WithFsyncDelay injects d of extra latency before every journal fsync
+// on every replica's durable store — the slow-disk fault for chaos
+// scenarios. Commit timing stretches (group commit absorbs more work
+// per flush, acks arrive later) but outcomes must not change: accepted
+// sets, final states, and apology ledgers stay equal to an undelayed
+// run of the same operations, which the slow-disk differential test
+// pins. No effect without WithDurability.
+func WithFsyncDelay(d time.Duration) Option { return func(c *config) { c.fsyncDelay = d } }
 
 // WithIngestBatch routes asynchronous submits through a per-replica
 // single-writer ingest pipeline that drains them in batches of at most n:
@@ -605,6 +615,7 @@ func (c *Cluster[S]) storeOptions() store.Options {
 	case c.cfg.fsyncEvery < 0:
 		opt.Mode = store.ModeEveryOp
 	}
+	opt.FsyncDelay = c.cfg.fsyncDelay
 	_, opt.Inline = c.tr.(*SimTransport)
 	return opt
 }

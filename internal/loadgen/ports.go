@@ -1,0 +1,26 @@
+package loadgen
+
+import "net"
+
+// freePorts reserves n distinct loopback TCP addresses by binding port 0
+// listeners, collecting the kernel-assigned addresses, and closing them.
+// The usual bench/test race caveat applies: another process could grab a
+// port between close and reuse, but daemons bind immediately after.
+func freePorts(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

@@ -119,6 +119,12 @@ type Options struct {
 	// economics disappear (each Commit pays its own fsync); correctness
 	// is identical.
 	Inline bool
+	// FsyncDelay injects extra latency before every journal fsync — the
+	// slow-disk fault. It stretches commit timing (more commits board
+	// each flush, acks arrive later) but must never change outcomes:
+	// the slow-disk differential suite pins accepted ops, final states,
+	// and apology ledgers equal to an undelayed run of the same script.
+	FsyncDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -654,6 +660,12 @@ func appendRecord(buf []byte, e oplog.Entry) []byte {
 }
 
 func (s *Store) syncSeg() error {
+	if d := s.opt.FsyncDelay; d > 0 {
+		// The slow-disk fault: the flush takes this much longer to land.
+		// Sleeping before Sync keeps the failure semantics identical — a
+		// crash mid-delay loses exactly what a crash mid-fsync would.
+		time.Sleep(d)
+	}
 	if err := s.seg.Sync(); err != nil {
 		return err
 	}
