@@ -55,8 +55,9 @@ type (
 	// SubmitOption configures one submit call.
 	SubmitOption = core.SubmitOption
 	// StoreStats counts a durable cluster's disk work: fsyncs completed,
-	// entries journaled, snapshots written, torn bytes truncated at
-	// recovery. Cluster.DurabilityStats aggregates it across replicas.
+	// entries journaled, snapshots (full and delta) written, segments
+	// recycled, torn bytes truncated at recovery, and the worst single
+	// writer stall. Cluster.DurabilityStats aggregates it across replicas.
 	StoreStats = store.Stats
 )
 
@@ -200,9 +201,11 @@ func WithDurability(dir string) Option { return core.WithDurability(dir) }
 
 // WithFsyncEvery tunes WithDurability's group-commit fsync loop
 // (§3.2's city-bus economics): d > 0 holds each flush up to d so more
-// commits board it; 0 (default) flushes as soon as the disk is free,
-// coalescing arrivals; d < 0 pays one fsync per operation — the
-// car-per-driver baseline kept for measuring what group commit saves.
+// commits board it; 0 (default) departs adaptively — immediately when
+// the staged backlog is shallow, coalescing under load, with the hold
+// ceiling steered by an EWMA of recent fsync cost; d < 0 pays one fsync
+// per operation — the car-per-driver baseline kept for measuring what
+// group commit saves.
 func WithFsyncEvery(d time.Duration) Option { return core.WithFsyncEvery(d) }
 
 // WithFsyncDelay injects d of extra latency before every journal fsync
@@ -234,6 +237,15 @@ func WithIngestBatch(n int) Option { return core.WithIngestBatch(n) }
 // journal segments below both the snapshot and every gossip peer's
 // acknowledgement be deleted. 0 disables snapshots.
 func WithSnapshotEvery(n int) Option { return core.WithSnapshotEvery(n) }
+
+// WithSnapshotChain sets how many snapshot cuts share one full-ledger
+// snapshot (default 8): the cuts in between are incremental deltas
+// holding only the entries since the previous cut, chained to the full
+// root, so a steady-state cut costs the write rate rather than the
+// ledger size. Recovery folds the newest intact chain and falls back to
+// a chain prefix losslessly if the newest delta is torn. k = 1 makes
+// every cut full. No effect without WithDurability.
+func WithSnapshotChain(k int) Option { return core.WithSnapshotChain(k) }
 
 // WithPolicy routes one submit with p instead of the cluster's default
 // risk policy — the per-operation "stomach for risk" dial of §5.5.

@@ -16,19 +16,22 @@ import (
 
 // benchResult is one measured arm.
 type benchResult struct {
-	Table       string  `json:"table"`            // "live" or "live-durable"
-	Arm         string  `json:"arm"`              // row label, e.g. "shards=4" or "group-commit"
-	Accepted    int64   `json:"accepted"`         // operations accepted during the window
-	OpsPerSec   float64 `json:"ops_per_sec"`      // accepted / window
-	NsPerOp     float64 `json:"ns_per_op"`        // window / accepted
-	AllocsPerOp float64 `json:"allocs_per_op"`    // heap allocations per accepted op, whole process
-	P50Ns       float64 `json:"p50_ns"`           // submit latency median
-	P99Ns       float64 `json:"p99_ns"`           // submit latency tail
-	Fsyncs      int64   `json:"fsyncs"`           // disk flushes during the window (0 when volatile)
-	FsyncsPerOp float64 `json:"fsyncs_per_op"`    // the group-commit amortization figure
-	Converged   bool    `json:"converged"`        // did gossip quiesce afterwards
-	Window      string  `json:"window,omitempty"` // sampling duration per arm
-	GOMAXPROCS  int     `json:"gomaxprocs"`       // effective parallelism while THIS arm ran
+	Table       string  `json:"table"`                  // "live" or "live-durable"
+	Arm         string  `json:"arm"`                    // row label, e.g. "shards=4" or "group-commit"
+	Accepted    int64   `json:"accepted"`               // operations accepted during the window
+	OpsPerSec   float64 `json:"ops_per_sec"`            // accepted / window
+	NsPerOp     float64 `json:"ns_per_op"`              // window / accepted
+	AllocsPerOp float64 `json:"allocs_per_op"`          // heap allocations per accepted op, whole process
+	P50Ns       float64 `json:"p50_ns"`                 // submit latency median
+	P99Ns       float64 `json:"p99_ns"`                 // submit latency tail
+	Fsyncs      int64   `json:"fsyncs"`                 // disk flushes during the window (0 when volatile)
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`          // the group-commit amortization figure
+	FsyncP50Ns  float64 `json:"fsync_p50_ns,omitempty"` // median single-fsync cost (durable arms)
+	FsyncP99Ns  float64 `json:"fsync_p99_ns,omitempty"` // tail single-fsync cost (durable arms)
+	MaxStallNs  int64   `json:"max_stall_ns,omitempty"` // worst single writer stall (write+fsync) anywhere
+	Converged   bool    `json:"converged"`              // did gossip quiesce afterwards
+	Window      string  `json:"window,omitempty"`       // sampling duration per arm
+	GOMAXPROCS  int     `json:"gomaxprocs"`             // effective parallelism while THIS arm ran
 }
 
 // benchReport is the whole -json document.
@@ -73,8 +76,23 @@ func (r *benchReport) add(res benchResult) {
 	r.Results = append(r.Results, res)
 }
 
+// write appends this report to path: the file holds the perf trajectory
+// as a JSON array of reports, newest last, so successive runs accumulate
+// comparable points instead of overwriting each other. A pre-existing
+// single-report file (the original format) becomes the array's first
+// element.
 func (r *benchReport) write(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
+	var trajectory []*benchReport
+	if buf, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(buf, &trajectory) != nil {
+			var old benchReport
+			if json.Unmarshal(buf, &old) == nil && len(old.Results) > 0 {
+				trajectory = []*benchReport{&old}
+			}
+		}
+	}
+	trajectory = append(trajectory, r)
+	buf, err := json.MarshalIndent(trajectory, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -110,27 +110,52 @@ func runLiveRow(tab *stats.Table, c *quicksand.Cluster[int64], label string, dur
 	for !c.Converged() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	fsyncs := c.DurabilityStats().Fsyncs
+	flush := flushTelemetry(c)
 	c.Close()
-	return liveRowResult(tab, c, label, duration, total.Load(), allocs, fsyncs)
+	return liveRowResult(tab, c, label, duration, total.Load(), allocs, flush)
+}
+
+// flushStats is the per-arm flush-stall telemetry of a durable arm: how
+// many fsyncs ran, what a single fsync cost at the median and the tail,
+// and the worst stall the journal writer ever took on one flush.
+type flushStats struct {
+	fsyncs     int64
+	p50, p99   float64
+	maxStallNs int64
+}
+
+// flushTelemetry samples the cluster's durability counters and latency
+// distributions; all zeros on volatile arms. Must run before Close.
+func flushTelemetry(c *quicksand.Cluster[int64]) flushStats {
+	st := c.DurabilityStats()
+	fsync, _ := c.DurabilityLatencies()
+	return flushStats{
+		fsyncs:     st.Fsyncs,
+		p50:        fsync.P50(),
+		p99:        fsync.P99(),
+		maxStallNs: st.MaxStallNs,
+	}
 }
 
 // liveRowResult renders one measured arm into the table and the JSON
 // result.
-func liveRowResult(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, accepted int64, allocs uint64, fsyncs int64) benchResult {
+func liveRowResult(tab *stats.Table, c *quicksand.Cluster[int64], label string, duration time.Duration, accepted int64, allocs uint64, flush flushStats) benchResult {
 	res := benchResult{
-		Arm:       label,
-		Accepted:  accepted,
-		OpsPerSec: float64(accepted) / duration.Seconds(),
-		P50Ns:     c.M.AsyncLat.P50(),
-		P99Ns:     c.M.AsyncLat.P99(),
-		Fsyncs:    fsyncs,
-		Converged: c.Converged(),
+		Arm:        label,
+		Accepted:   accepted,
+		OpsPerSec:  float64(accepted) / duration.Seconds(),
+		P50Ns:      c.M.AsyncLat.P50(),
+		P99Ns:      c.M.AsyncLat.P99(),
+		Fsyncs:     flush.fsyncs,
+		FsyncP50Ns: flush.p50,
+		FsyncP99Ns: flush.p99,
+		MaxStallNs: flush.maxStallNs,
+		Converged:  c.Converged(),
 	}
 	if accepted > 0 {
 		res.NsPerOp = float64(duration.Nanoseconds()) / float64(accepted)
 		res.AllocsPerOp = float64(allocs) / float64(accepted)
-		res.FsyncsPerOp = float64(fsyncs) / float64(accepted)
+		res.FsyncsPerOp = float64(flush.fsyncs) / float64(accepted)
 	}
 	tab.AddRow(label, fmt.Sprint(accepted),
 		fmt.Sprintf("%.0f", res.OpsPerSec),
@@ -155,8 +180,8 @@ func runLiveDurableBench(duration time.Duration, dir string, report *benchReport
 	fmt.Println("\nLIVE DURABLE: fsync cost and group-commit amortization (wall clock, this machine)")
 	tab := stats.NewTable(
 		fmt.Sprintf("live durable — rule-checked submits for %v per row, %d workers, 3 replicas, gossip every 1ms, stores under %s", duration, workers, dir),
-		"volatile keeps everything in RAM; group-commit fsyncs every accepted op but lets in-flight submits share flushes (§3.2's city bus); the batch row ingests through SubmitBatch, where a whole batch boards one flush; the ingest row adds the single-writer pipeline, so the replica lock and journal append amortize too; fsync-per-op pays one flush per op — the car-per-driver baseline group commit was invented to beat. Accepted results are never acknowledged before they are durable in any disk mode.",
-		"mode", "accepted", "ops/sec", "allocs/op", "submit p50", "submit p99", "converged after quiesce", "fsyncs", "ops/fsync")
+		"volatile keeps everything in RAM; group-commit fsyncs every accepted op but lets in-flight submits share flushes (§3.2's city bus, adaptive departure); the batch row ingests through SubmitBatch, where a whole batch boards one flush; the ingest rows add the single-writer pipeline, so the replica lock and journal append amortize too — the shards=4 ingest row runs one journal + flush loop per shard in parallel; fsync-per-op pays one flush per op — the car-per-driver baseline group commit was invented to beat. Accepted results are never acknowledged before they are durable in any disk mode. The last three columns are the flush-stall telemetry: what one fsync cost at the median and the tail, and the worst single stall the journal writer took.",
+		"mode", "accepted", "ops/sec", "allocs/op", "submit p50", "submit p99", "converged after quiesce", "fsyncs", "ops/fsync", "fsync p50", "fsync p99", "max stall")
 	keys := make([]string, 256)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("k%03d", i)
@@ -171,10 +196,21 @@ func runLiveDurableBench(duration time.Duration, dir string, report *benchReport
 		{"group-commit batch=256", 256, []quicksand.Option{quicksand.WithDurability(filepath.Join(dir, "group-batch"))}},
 		{"group-commit ingest=256", 256, []quicksand.Option{
 			quicksand.WithDurability(filepath.Join(dir, "group-ingest")), quicksand.WithIngestBatch(256)}},
+		// The tail-latency acceptance arm: four parallel per-shard journals,
+		// adaptive flush deadlines, delta snapshots, recycled segments. The
+		// submit-side batch is deliberately small (32, not 256): p99 here is
+		// bounded below by Little's law — in-flight ops / throughput — so a
+		// row that queues 2048 ops can never show a low tail no matter how
+		// fast the store is. 256 in flight keeps the pipeline's coalescing
+		// window full (it batches across workers up to the ingest cap) while
+		// leaving the tail to measure the journal, not the queue.
+		{"group-commit ingest=256 shards=4", 32, []quicksand.Option{
+			quicksand.WithDurability(filepath.Join(dir, "group-ingest-4")),
+			quicksand.WithIngestBatch(256), quicksand.WithShards(4)}},
 		{"fsync-per-op", 0, []quicksand.Option{quicksand.WithDurability(filepath.Join(dir, "everyop")), quicksand.WithFsyncEvery(-1)}},
 	}
 	for _, m := range modes {
-		for _, sub := range []string{"group", "group-batch", "group-ingest", "everyop"} {
+		for _, sub := range []string{"group", "group-batch", "group-ingest", "group-ingest-4", "everyop"} {
 			os.RemoveAll(filepath.Join(dir, sub))
 		}
 		c := quicksand.New[int64](liveApp{}, []quicksand.Rule[int64]{admitAll()},
@@ -189,9 +225,10 @@ func runLiveDurableBench(duration time.Duration, dir string, report *benchReport
 		report.add(res)
 		row := &tab.Rows[len(tab.Rows)-1]
 		if res.Fsyncs > 0 {
-			*row = append(*row, fmt.Sprint(res.Fsyncs), fmt.Sprintf("%.1f", float64(res.Accepted)/float64(res.Fsyncs)))
+			*row = append(*row, fmt.Sprint(res.Fsyncs), fmt.Sprintf("%.1f", float64(res.Accepted)/float64(res.Fsyncs)),
+				stats.Dur(res.FsyncP50Ns), stats.Dur(res.FsyncP99Ns), stats.Dur(float64(res.MaxStallNs)))
 		} else {
-			*row = append(*row, "0", "-")
+			*row = append(*row, "0", "-", "-", "-", "-")
 		}
 	}
 	fmt.Print(tab.String())
@@ -233,7 +270,7 @@ func runLiveBatchRow(tab *stats.Table, c *quicksand.Cluster[int64], label string
 	for !c.Converged() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	fsyncs := c.DurabilityStats().Fsyncs
+	flush := flushTelemetry(c)
 	c.Close()
-	return liveRowResult(tab, c, label, duration, total.Load(), allocs, fsyncs)
+	return liveRowResult(tab, c, label, duration, total.Load(), allocs, flush)
 }

@@ -156,6 +156,7 @@ type config struct {
 	fsyncEvery  time.Duration // >0 timer group commit, 0 immediate coalescing, <0 fsync per op
 	fsyncDelay  time.Duration // injected latency before every journal fsync (slow-disk fault)
 	snapEvery   int           // journaled entries between durable snapshots
+	snapChain   int           // snapshot cuts per full snapshot (delta chaining; 1 = every cut full)
 	ingestBatch int           // max ops per ingest-pipeline batch (0 = per-op path)
 	local       map[int]bool  // replica indices hosted by this process (nil = all)
 }
@@ -303,6 +304,18 @@ func WithLocalReplicas(idxs ...int) Option {
 // (the journal is then never compacted); values below 0 fall back to
 // the default.
 func WithSnapshotEvery(n int) Option { return func(c *config) { c.snapEvery = n } }
+
+// WithSnapshotChain sets how many snapshot cuts share one full-ledger
+// snapshot (default 8): each cut in between is an incremental delta
+// holding only the entries since the previous cut, chained back to the
+// full root, so a cut's cost tracks the write rate instead of the
+// ledger size — the writer-stall fix for durable tail latency. Recovery
+// folds the newest intact chain; a torn newest delta falls back to the
+// chain prefix losslessly (journal compaction gates on the chain base,
+// not the tip). k = 1 makes every cut full (the pre-chain behaviour);
+// values below 1 fall back to the default. No effect without
+// WithDurability.
+func WithSnapshotChain(k int) Option { return func(c *config) { c.snapChain = k } }
 
 // Result reports the outcome of one submit.
 type Result struct {
@@ -499,6 +512,9 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 	if cfg.snapEvery < 0 {
 		cfg.snapEvery = 4096
 	}
+	if cfg.snapChain < 1 {
+		cfg.snapChain = 8
+	}
 	if cfg.ingestBatch < 0 {
 		cfg.ingestBatch = 0
 	}
@@ -608,15 +624,25 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 // goroutines would break bit-for-bit reproducibility.
 func (c *Cluster[S]) storeOptions() store.Options {
 	opt := store.Options{}
+	_, opt.Inline = c.tr.(*SimTransport)
 	switch {
 	case c.cfg.fsyncEvery > 0:
 		opt.Mode = store.ModeTimer
 		opt.Interval = c.cfg.fsyncEvery
 	case c.cfg.fsyncEvery < 0:
 		opt.Mode = store.ModeEveryOp
+	case !opt.Inline:
+		// The live default: adaptive group commit — flush at once when the
+		// staged backlog is shallow, coalesce under load, with the hold
+		// ceiling steered by an EWMA of real fsync cost.
+		opt.Mode = store.ModeAdaptive
 	}
 	opt.FsyncDelay = c.cfg.fsyncDelay
-	_, opt.Inline = c.tr.(*SimTransport)
+	// Preallocated (and recycled) segments trade exact file sizes for
+	// flush latency; the simulator keeps exact sizes — its tests poke at
+	// them, and inline runs are not latency-sensitive anyway.
+	opt.Preallocate = !opt.Inline
+	opt.SnapshotChain = c.cfg.snapChain
 	return opt
 }
 
@@ -655,8 +681,11 @@ func (c *Cluster[S]) ShardRecover(ctx context.Context, shard, i int) error {
 }
 
 // DurabilityStats sums the disk-work counters of every replica's live
-// store: fsyncs completed, entries journaled, snapshots written, torn
-// bytes truncated at recovery. All zeros without WithDurability.
+// store: fsyncs completed, entries journaled, snapshots (full and
+// delta) written or failed, segments recycled, torn bytes truncated at
+// recovery. MaxStallNs is the max, not the sum — the worst single
+// writer stall anywhere in the cluster. All zeros without
+// WithDurability.
 func (c *Cluster[S]) DurabilityStats() store.Stats {
 	var out store.Stats
 	for _, g := range c.groups {
@@ -665,11 +694,30 @@ func (c *Cluster[S]) DurabilityStats() store.Stats {
 				out.Fsyncs += st.Fsyncs
 				out.Appended += st.Appended
 				out.Snapshots += st.Snapshots
+				out.SnapshotFailures += st.SnapshotFailures
+				out.DeltaSnapshots += st.DeltaSnapshots
+				out.Recycled += st.Recycled
 				out.TornBytes += st.TornBytes
+				if st.MaxStallNs > out.MaxStallNs {
+					out.MaxStallNs = st.MaxStallNs
+				}
 			}
 		}
 	}
 	return out
+}
+
+// DurabilityLatencies folds every live store's sampled fsync and
+// snapshot-cut latency distributions into two cluster-level histograms.
+// Both are empty without WithDurability.
+func (c *Cluster[S]) DurabilityLatencies() (fsync, snapCut *stats.Histogram) {
+	fsync, snapCut = &stats.Histogram{}, &stats.Histogram{}
+	for _, g := range c.groups {
+		for _, r := range g.reps {
+			r.SpillStoreLatencies(fsync, snapCut)
+		}
+	}
+	return fsync, snapCut
 }
 
 // Transport returns the transport the cluster runs on.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/apology"
 	"repro/internal/oplog"
 	"repro/internal/policy"
+	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/uniq"
 )
@@ -520,10 +521,17 @@ func (r *Replica[S]) maybeSnapshotLocked() func() {
 	}
 	r.sinceSnap = 0
 	r.foldLocked()
-	entries := r.ops.Entries()
-	pos := r.store.End()
-	mark := r.stateMark
 	st := r.store
+	// A delta cut needs no entries from us — the store buffers its own
+	// since-last-cut suffix — so the O(ledger) Entries copy under mu is
+	// paid only for the occasional full cut. This is the writer-stall fix:
+	// steady-state snapshot cuts cost the write rate, not the ledger size.
+	var entries []oplog.Entry
+	if st.NextSnapshotIsFull() {
+		entries = r.ops.Entries()
+	}
+	pos := st.End()
+	mark := r.stateMark
 	return func() { st.WriteSnapshot(entries, pos, mark) }
 }
 
@@ -978,4 +986,18 @@ func (r *Replica[S]) StoreStats() (store.Stats, bool) {
 		return store.Stats{}, false
 	}
 	return st.Stats(), true
+}
+
+// SpillStoreLatencies folds the replica's sampled fsync and snapshot-cut
+// latency distributions into the given histograms; a no-op when the
+// replica has no live store.
+func (r *Replica[S]) SpillStoreLatencies(fsync, snapCut *stats.Histogram) {
+	r.mu.Lock()
+	st := r.store
+	r.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.FsyncLatency().Spill(fsync)
+	st.SnapshotCutLatency().Spill(snapCut)
 }

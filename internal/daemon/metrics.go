@@ -48,9 +48,21 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := d.cluster.DurabilityStats()
 	counter("quicksand_journal_fsyncs_total", "Journal fsyncs completed (group commit).", st.Fsyncs)
 	counter("quicksand_journal_appends_total", "Entries staged for the journal.", st.Appended)
-	counter("quicksand_snapshots_total", "Durable snapshots written.", st.Snapshots)
+	counter("quicksand_snapshots_total", "Durable snapshots written (full and delta).", st.Snapshots)
 	counter("quicksand_snapshot_failures_total", "Snapshot attempts that could not reach disk.", st.SnapshotFailures)
+	counter("quicksand_delta_snapshots_total", "Incremental (delta) snapshot cuts written.", st.DeltaSnapshots)
+	counter("quicksand_segments_recycled_total", "Journal segments reborn from the free pool.", st.Recycled)
 	counter("quicksand_torn_bytes_total", "Bytes truncated from torn journal tails at recovery.", st.TornBytes)
+	gauge("quicksand_journal_max_stall_seconds", "Worst single journal flush (write+fsync) since start.",
+		time.Duration(st.MaxStallNs).Seconds())
+
+	// Disk-latency distributions, sampled per store and folded across
+	// replicas: what one fsync costs, and what one snapshot cut costs.
+	fsyncLat, snapLat := d.cluster.DurabilityLatencies()
+	quantiles("quicksand_fsync_seconds", "Journal fsync duration (sampled).",
+		fsyncLat.QuantileDur(0.50), fsyncLat.QuantileDur(0.99), fsyncLat.Count())
+	quantiles("quicksand_snapshot_cut_seconds", "Snapshot cut duration, full and delta (sampled).",
+		snapLat.QuantileDur(0.50), snapLat.QuantileDur(0.99), snapLat.Count())
 
 	q := d.cluster.Apologies
 	counter("quicksand_apologies_total", "Business-rule violations discovered (deduplicated).", int64(q.Total()))

@@ -177,8 +177,9 @@ var SlowDisk = register(&Scenario{
 		if ct, ok := tgt.(*loadgen.ClusterTarget); ok {
 			st := ct.C.DurabilityStats()
 			checks = append(checks, loadgen.Check{Name: "disk-was-exercised",
-				OK:     st.Fsyncs > 0 && st.Appended > 0,
-				Detail: fmt.Sprintf("%d fsyncs, %d entries journaled", st.Fsyncs, st.Appended)})
+				OK: st.Fsyncs > 0 && st.Appended > 0,
+				Detail: fmt.Sprintf("%d fsyncs, %d entries journaled, %d delta snapshots, %d segments recycled, max stall %v",
+					st.Fsyncs, st.Appended, st.DeltaSnapshots, st.Recycled, time.Duration(st.MaxStallNs))})
 		}
 		return rep, checks, nil
 	},

@@ -1,0 +1,21 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocate reserves size bytes of backing storage for f so later
+// appends never pay an allocate-and-extend fsync at flush time. On
+// filesystems without fallocate support it falls back to a plain
+// truncate-extend, which at least fixes the logical size.
+func preallocate(f *os.File, size int64) {
+	if size <= 0 {
+		return
+	}
+	if err := syscall.Fallocate(int(f.Fd()), 0, 0, size); err != nil {
+		_ = f.Truncate(size)
+	}
+}

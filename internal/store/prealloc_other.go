@@ -1,0 +1,15 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// preallocate reserves size bytes for f. Without fallocate, a
+// truncate-extend fixes the logical size; most filesystems still
+// materialize blocks lazily, so this is best-effort on non-Linux.
+func preallocate(f *os.File, size int64) {
+	if size <= 0 {
+		return
+	}
+	_ = f.Truncate(size)
+}

@@ -20,16 +20,29 @@
 //
 // A store owns one directory:
 //
-//	journal-0000000000.seg   segment: 6-byte magic, then records
+//	journal-0000000000.seg   segment: header, then records
 //	journal-0000012345.seg   (filename = absolute position of first record)
-//	snap-0000012000.snap     snapshot taken at journal position 12000
+//	free-0000000003.seg      retired segment awaiting recycling
+//	snap-0000012000.snap     full snapshot taken at journal position 12000
+//	delta-0000012400.snap    delta snapshot: entries [parent, 12400) + chain link
 //
+// A segment header is the 6-byte magic "QSEG2\n" plus the segment's
+// start position (uint64 LE); legacy "QSEG1\n" segments are still read.
 // Every journal record is [uint32 length][uint32 CRC-32C][entry bytes]
-// (little-endian, oplog.AppendEntry payload). Appends go to the last
-// segment; once it exceeds Options.SegmentBytes it is sealed (fsynced,
-// closed) and a fresh segment starts at the next position. Snapshots are
+// (little-endian, oplog.AppendEntry payload), with the CRC salted by a
+// seed derived from the segment's start position — see seedFor. Appends
+// go to the last segment; once it exceeds Options.SegmentBytes it is
+// sealed (fsynced, truncated to its data, closed) and a fresh segment
+// starts at the next position, popped from the free pool when one is
+// waiting and preallocated to SegmentBytes (Options.Preallocate) so
+// appends never pay allocate-and-extend at flush time. Snapshots are
 // written to a temp file, fsynced, and renamed into place — they are
-// atomic or absent — and only the newest Options.KeepSnapshots survive.
+// atomic or absent. With Options.SnapshotChain = k, cuts alternate:
+// delta snapshots carry only the entries past the previous cut plus a
+// parent-position link, and every k-th cut is full, resetting the
+// chain; recovery folds the newest intact chain root-first. Pruning
+// keeps the newest Options.KeepSnapshots full snapshots plus every
+// delta at or past the oldest retained full's position.
 //
 // # Recovery and the truncation invariant
 //
@@ -38,11 +51,14 @@
 // record — a crash mid-append — is truncated away and counted, exactly
 // the "examine the work in the tail of the log and determine what the
 // heck to do" of §5.1; an invalid record anywhere *before* the tail is
-// corruption and fails Open loudly. Journal segments are deleted only
-// when every position they hold is below BOTH the newest durable
-// snapshot (Open could rebuild without them) and the position every
-// gossip peer has acknowledged (no peer will ever need them re-pushed):
-// Compact takes the min of the two watermarks the owner feeds it.
+// corruption and fails Open loudly. Journal segments are retired only
+// when every position they hold is below BOTH the base of the newest
+// durable snapshot chain (Open could rebuild without them even if every
+// delta above the base is torn) and the position every gossip peer has
+// acknowledged (no peer will ever need them re-pushed): Compact takes
+// the min of the chain base and the watermark the owner feeds it.
+// Retired segments join the free pool for recycling rather than being
+// unlinked, up to maxFreeSegs.
 package store
 
 import (
@@ -61,18 +77,46 @@ import (
 	"time"
 
 	"repro/internal/oplog"
+	"repro/internal/stats"
 )
 
 // Filenames and framing constants.
 const (
-	segMagic   = "QSEG1\n" // journal segment header
-	snapMagic  = "QSNP1\n" // snapshot header
+	segMagic   = "QSEG1\n" // legacy journal segment header (records CRC'd with seed 0)
+	segMagicV2 = "QSEG2\n" // salted journal segment header: magic + uint64 LE start position
+	snapMagic  = "QSNP1\n" // full snapshot header
+	deltaMagic = "QSND1\n" // delta snapshot header: adds a parent-position chain link
 	snapFooter = "QEND\n"  // snapshot trailer: present iff the write completed
 	recHdrLen  = 8         // uint32 length + uint32 CRC-32C
 	maxRecord  = 16 << 20  // sanity bound on one record's payload
+
+	segHdrV2 = len(segMagicV2) + 8 // v2 header: magic + start position
+
+	// maxFreeSegs bounds the recycled-segment pool; retirements beyond it
+	// are deleted as before.
+	maxFreeSegs = 4
+	// maxDeltaPending bounds the staged-entry buffer feeding delta
+	// snapshot cuts. An owner that stages this much without ever cutting
+	// has effectively disabled snapshots; the buffer is dropped and the
+	// next cut is forced full rather than holding the memory hostage.
+	maxDeltaPending = 1 << 16
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// seedFor derives a segment's CRC seed from its absolute start position.
+// Every record CRC is salted with its segment's seed, and positions are
+// never reused across a store's lifetime — so when a retired segment file
+// is recycled as a new segment, the old life's records (valid CRCs under
+// the old seed) can never verify under the new one. Recovery sees them as
+// a torn tail, exactly like any other stale bytes past the real end.
+// Legacy v1 segments use seed 0; crc32.Update(0, t, p) == crc32.Checksum(p, t),
+// so v1 records keep verifying unchanged.
+func seedFor(start int) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(start))
+	return crc32.Checksum(b[:], castagnoli)
+}
 
 // ErrCorrupt reports a record that failed its CRC (or decoded to
 // garbage) somewhere other than the journal's final record — damage a
@@ -95,7 +139,34 @@ const (
 	// staged batch, no coalescing. Kept so benchmarks can measure what
 	// group commit saves.
 	ModeEveryOp
+	// ModeAdaptive is ModeGroup with a load-shaped coalescing hold: when
+	// the staged backlog is shallow the flush departs immediately (the
+	// latency-optimal choice when the disk is keeping up), and as backlog
+	// grows the flusher holds the bus for up to the Options.AdaptiveDeadline
+	// curve's deadline — itself steered by an EWMA of recent fsync cost —
+	// so saturated periods buy bigger batches and fewer fsyncs without
+	// taxing the idle path.
+	ModeAdaptive
 )
+
+// AdaptiveCurve shapes ModeAdaptive's flush deadline. The hold before a
+// flush grows linearly with load, from zero at an empty ring up to
+// min(MaxWait, EWMA of recent fsync cost) at KneeBytes — holding for
+// about one fsync's cost doubles the batch a saturated flusher boards
+// while bounding the added latency to what the disk was already
+// charging. Load is max(staged backlog, EWMA of recent flush sizes):
+// the instantaneous backlog alone is misleading, because the flusher
+// wakes on a burst's first rider, before the rest have staged.
+type AdaptiveCurve struct {
+	// MaxWait caps the coalescing hold regardless of fsync cost
+	// (default 2ms).
+	MaxWait time.Duration
+	// KneeBytes is the load at which the hold saturates (default
+	// 8 KiB — roughly a hundred typical entries, enough riders that the
+	// fsync is well amortized). At 4× this staged backlog the flusher
+	// departs early.
+	KneeBytes int
+}
 
 // Options tunes a Store. The zero value selects the defaults.
 type Options struct {
@@ -125,6 +196,25 @@ type Options struct {
 	// the slow-disk differential suite pins accepted ops, final states,
 	// and apology ledgers equal to an undelayed run of the same script.
 	FsyncDelay time.Duration
+	// AdaptiveDeadline shapes ModeAdaptive's coalescing hold; zero fields
+	// take the curve's defaults. Ignored by the other modes.
+	AdaptiveDeadline AdaptiveCurve
+	// Preallocate reserves each journal segment's full SegmentBytes when
+	// the segment is created and recycles retired segments through a free
+	// pool instead of deleting them, so steady-state appends never pay
+	// allocate-and-extend metadata fsyncs at segment boundaries. Off by
+	// default: preallocated files make a segment's size diverge from its
+	// data length, which simulator-facing tests that compute offsets from
+	// file sizes must not see.
+	Preallocate bool
+	// SnapshotChain enables incremental snapshot cuts: only every K-th
+	// cut writes the full ledger; the K-1 cuts between write just the
+	// entries staged past the previous cut, chained to it by a parent
+	// link. Recovery folds the newest fully-valid chain; compaction gates
+	// on the chain's base (the newest full snapshot), so a torn newest
+	// delta falls back to the chain prefix losslessly. 0 or 1 disables
+	// deltas (every cut is full, the pre-chain behavior).
+	SnapshotChain int
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +230,12 @@ func (o Options) withDefaults() Options {
 	if o.KeepSnapshots <= 0 {
 		o.KeepSnapshots = 2
 	}
+	if o.AdaptiveDeadline.MaxWait <= 0 {
+		o.AdaptiveDeadline.MaxWait = 2 * time.Millisecond
+	}
+	if o.AdaptiveDeadline.KneeBytes <= 0 {
+		o.AdaptiveDeadline.KneeBytes = 8 << 10
+	}
 	return o
 }
 
@@ -147,13 +243,19 @@ func (o Options) withDefaults() Options {
 type Stats struct {
 	Fsyncs    int64 // journal fsyncs completed (the figure group commit minimizes)
 	Appended  int64 // entries staged for the journal
-	Snapshots int64 // snapshot files written
+	Snapshots int64 // snapshot files written (full and delta)
 	// SnapshotFailures counts snapshot attempts that could not reach
 	// disk. A non-zero, growing value means the snapshot watermark — and
 	// with it journal compaction — has stalled: durability maintenance
 	// is failing even though commits may still succeed.
 	SnapshotFailures int64
+	DeltaSnapshots   int64 // snapshot cuts written as chain deltas (subset of Snapshots)
+	Recycled         int64 // journal segments reborn from the free pool instead of created
 	TornBytes        int64 // bytes truncated from a torn tail at Open
+	// MaxStallNs is the longest single flush cycle (write + fsync) in
+	// nanoseconds — the worst case a commit waited on the disk itself,
+	// the writer-stall figure the tail-latency work minimizes.
+	MaxStallNs int64
 }
 
 // Recovery is everything Open rebuilt from disk. The owner re-derives
@@ -163,9 +265,11 @@ type Stats struct {
 // snapshot's fold stood), gossip journal = JournalEntries at absolute
 // positions [Base, End).
 type Recovery struct {
-	SnapshotEntries []oplog.Entry   // canonical order, as snapshotted
-	SnapshotPos     int             // journal position the snapshot covers
-	SnapshotMark    oplog.Watermark // fold watermark at snapshot time
+	SnapshotEntries []oplog.Entry   // snapshot-chain union: full snapshot then each delta, oldest first
+	SnapshotPos     int             // journal position the resolved chain covers (the chain tip)
+	SnapshotBase    int             // position of the chain's full snapshot (== SnapshotPos without deltas)
+	SnapshotMark    oplog.Watermark // fold watermark at the chain tip
+	Deltas          int             // delta links in the resolved chain
 	JournalEntries  []oplog.Entry   // arrival order, positions [Base, End)
 	Base            int             // absolute position of the first retained journal entry
 	End             int             // next position to be appended
@@ -177,6 +281,7 @@ type Recovery struct {
 type chunk struct {
 	entries []oplog.Entry
 	end     int // position just past the last entry
+	bytes   int // framed size on disk (tracked only in ModeAdaptive)
 }
 
 type waiter struct {
@@ -199,37 +304,60 @@ type Store struct {
 	dir string
 	opt Options
 
-	mu      sync.Mutex
-	pending []chunk
-	waiters []waiter
-	end     int // next position to assign
-	flushed int // positions below this are fsynced
-	ackPos  int // min position every gossip peer has acknowledged
-	snapPos int // position covered by the newest durable snapshot
-	segs    []segment
-	failed  error // sticky I/O error: all later commits fail
-	closed  bool
+	mu           sync.Mutex
+	pending      []chunk
+	pendingBytes int // framed bytes staged but not flushed (ModeAdaptive)
+	waiters      []waiter
+	end          int // next position to assign
+	flushed      int // positions below this are fsynced
+	ackPos       int // min position every gossip peer has acknowledged
+	snapPos      int // position covered by the newest durable snapshot chain (the tip)
+	snapBase     int // position of the newest durable FULL snapshot — the compaction gate
+	deltasSince  int // delta cuts since the newest full snapshot
+	segs         []segment
+	freeSegs     []string // retired segment files awaiting recycling
+	freeSeq      int      // next free-pool filename ordinal
+	failed       error    // sticky I/O error: all later commits fail
+	closed       bool
+
+	// deltaPend holds every staged entry not yet covered by a snapshot
+	// cut (chain mode only): positions [deltaBase, end), in stage order.
+	// A delta cut at pos persists the [snapPos, pos) prefix and drops it
+	// on success — a skipped or failed cut keeps it, so the next cut
+	// covers a superset and nothing ever silently leaves the chain.
+	deltaPend []oplog.Entry
+	deltaBase int
+	deltaOver bool // deltaPend overflowed and was dropped: next cut must be full
 
 	// File handles are owned by whoever runs flushes: the background
 	// flusher goroutine, or the calling goroutine under flushMu when
 	// Inline. Never touched with mu held — fsync must not block staging.
 	flushMu  sync.Mutex
 	seg      *os.File
-	segBytes int64
+	segBytes int64  // data bytes in the active segment (file size may exceed this when preallocated)
+	segSeed  uint32 // CRC seed of the active segment
 	scratch  []byte
 
 	kick     chan struct{} // wake the flusher (buffered, coalescing)
-	full     chan struct{} // ModeTimer early departure
+	full     chan struct{} // ModeTimer/ModeAdaptive early departure
 	quit     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 	snapBusy atomic.Bool
 
-	fsyncs    atomic.Int64
-	appended  atomic.Int64
-	snapshots atomic.Int64
-	snapFails atomic.Int64
-	tornBytes int64
+	fsyncs     atomic.Int64
+	appended   atomic.Int64
+	snapshots  atomic.Int64
+	snapFails  atomic.Int64
+	deltaSnaps atomic.Int64
+	recycled   atomic.Int64
+	maxStall   atomic.Int64 // longest single flush (write+fsync), ns
+	ewmaFsync  atomic.Int64 // EWMA of recent fsync cost, ns (steers ModeAdaptive's knee)
+	ewmaTook   atomic.Int64 // EWMA of framed bytes per flush (ModeAdaptive's load signal)
+	tornBytes  int64
+
+	fsyncLat *stats.Reservoir // fsync durations, ns
+	snapLat  *stats.Reservoir // snapshot-cut durations, ns
 }
 
 // Open replays dir (created if absent) and returns the store positioned
@@ -242,11 +370,13 @@ func Open(dir string, opt Options) (*Store, Recovery, error) {
 		return nil, Recovery{}, err
 	}
 	s := &Store{
-		dir:  dir,
-		opt:  opt,
-		kick: make(chan struct{}, 1),
-		full: make(chan struct{}, 1),
-		quit: make(chan struct{}),
+		dir:      dir,
+		opt:      opt,
+		kick:     make(chan struct{}, 1),
+		full:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		fsyncLat: stats.NewReservoir(4096),
+		snapLat:  stats.NewReservoir(1024),
 	}
 	rec, err := s.replay()
 	if err != nil {
@@ -256,7 +386,20 @@ func Open(dir string, opt Options) (*Store, Recovery, error) {
 	s.flushed = rec.End
 	s.ackPos = rec.Base
 	s.snapPos = rec.SnapshotPos
+	s.snapBase = rec.SnapshotBase
+	s.deltasSince = rec.Deltas
 	s.tornBytes = rec.TornBytes
+	if opt.SnapshotChain > 1 {
+		// Re-seed the delta buffer: the journal retains exactly the
+		// positions past the chain tip, the entries the next delta cut
+		// must cover.
+		s.deltaBase = rec.SnapshotPos
+		if from := rec.SnapshotPos - rec.Base; from >= 0 && from <= len(rec.JournalEntries) {
+			s.deltaPend = append(s.deltaPend, rec.JournalEntries[from:]...)
+		} else {
+			s.deltaOver = true
+		}
+	}
 	if !opt.Inline {
 		s.wg.Add(1)
 		go s.flushLoop()
@@ -296,8 +439,41 @@ func (s *Store) Stats() Stats {
 		Appended:         s.appended.Load(),
 		Snapshots:        s.snapshots.Load(),
 		SnapshotFailures: s.snapFails.Load(),
+		DeltaSnapshots:   s.deltaSnaps.Load(),
+		Recycled:         s.recycled.Load(),
 		TornBytes:        s.tornBytes,
+		MaxStallNs:       s.maxStall.Load(),
 	}
+}
+
+// FsyncLatency exposes the sampled distribution of journal fsync costs.
+func (s *Store) FsyncLatency() *stats.Reservoir { return s.fsyncLat }
+
+// SnapshotCutLatency exposes the sampled distribution of snapshot-cut
+// durations (serialize + write + fsync + rename), full and delta alike.
+func (s *Store) SnapshotCutLatency() *stats.Reservoir { return s.snapLat }
+
+// NextSnapshotIsFull reports whether the next WriteSnapshot cut must
+// carry the full ledger: always when chaining is disabled, when no full
+// snapshot exists yet, after a delta-buffer overflow, and every
+// Options.SnapshotChain-th cut. Owners consult it to decide whether to
+// pay the full-ledger copy; passing nil entries to WriteSnapshot selects
+// a delta cut from the store's own staged buffer.
+func (s *Store) NextSnapshotIsFull() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextFullLocked()
+}
+
+func (s *Store) nextFullLocked() bool {
+	k := s.opt.SnapshotChain
+	if k <= 1 || s.deltaOver {
+		return true
+	}
+	if s.snapBase == 0 && s.snapPos == 0 {
+		return true // no chain to extend yet
+	}
+	return s.deltasSince >= k-1
 }
 
 // Stage queues entries for the journal at the next positions and returns
@@ -306,16 +482,33 @@ func (s *Store) Stats() Stats {
 // the returned position. After Close or Crash, staging is a no-op (the
 // process is gone; there is nowhere for the bytes to go).
 func (s *Store) Stage(entries []oplog.Entry) int {
+	var bytes int
+	if s.opt.Mode == ModeAdaptive {
+		for _, e := range entries {
+			bytes += recHdrLen + oplog.EntrySize(e)
+		}
+	}
 	s.mu.Lock()
 	if s.closed || len(entries) == 0 {
 		end := s.end
 		s.mu.Unlock()
 		return end
 	}
+	if s.opt.SnapshotChain > 1 && !s.deltaOver {
+		if len(s.deltaPend) == 0 {
+			s.deltaBase = s.end
+		}
+		s.deltaPend = append(s.deltaPend, entries...)
+		if len(s.deltaPend) > maxDeltaPending {
+			s.deltaPend, s.deltaOver = nil, true
+		}
+	}
 	s.end += len(entries)
 	end := s.end
-	s.pending = append(s.pending, chunk{entries: entries, end: end})
-	batchFull := s.opt.Mode == ModeTimer && len(s.pending) >= s.opt.MaxBatch
+	s.pending = append(s.pending, chunk{entries: entries, end: end, bytes: bytes})
+	s.pendingBytes += bytes
+	batchFull := s.opt.Mode == ModeTimer && len(s.pending) >= s.opt.MaxBatch ||
+		s.opt.Mode == ModeAdaptive && s.pendingBytes >= 4*s.opt.AdaptiveDeadline.KneeBytes
 	s.mu.Unlock()
 	s.appended.Add(int64(len(entries)))
 	if batchFull {
@@ -390,14 +583,24 @@ func (s *Store) AckTo(pos int) {
 // compactable; a failed write counts in Stats.SnapshotFailures and the
 // watermark stays put, so compaction stalls visibly rather than
 // silently losing data.
+//
+// With Options.SnapshotChain enabled, nil entries select a delta cut:
+// the store persists just its internally-buffered entries past the
+// previous cut, chained to it by a parent link, so the owner never pays
+// a full-ledger copy for an incremental cut. Owners consult
+// NextSnapshotIsFull to decide which to request.
 func (s *Store) WriteSnapshot(entries []oplog.Entry, pos int, mark oplog.Watermark) {
 	s.Commit(pos, func(ok bool) {
 		if !ok {
 			s.snapFails.Add(1)
 			return
 		}
+		job := func() { s.writeSnapshot(entries, pos, mark) }
+		if entries == nil {
+			job = func() { s.writeDelta(pos, mark) }
+		}
 		if s.opt.Inline {
-			s.writeSnapshot(entries, pos, mark)
+			job()
 			return
 		}
 		if !s.snapBusy.CompareAndSwap(false, true) {
@@ -416,7 +619,7 @@ func (s *Store) WriteSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 		go func() {
 			defer s.wg.Done()
 			defer s.snapBusy.Store(false)
-			s.writeSnapshot(entries, pos, mark)
+			job()
 		}()
 	})
 }
@@ -436,6 +639,14 @@ func (s *Store) Close() error {
 	s.drain()
 	s.flushMu.Lock()
 	if s.seg != nil {
+		if s.opt.Preallocate {
+			// Hand back the unused reservation: a graceful shutdown leaves
+			// the file ending exactly at its last record, so reopen sees
+			// no phantom torn tail.
+			if s.seg.Truncate(s.segBytes) == nil {
+				s.seg.Sync()
+			}
+		}
 		s.seg.Close()
 		s.seg = nil
 	}
@@ -454,6 +665,7 @@ func (s *Store) Crash() {
 	s.mu.Lock()
 	s.closed = true
 	s.pending = nil
+	s.pendingBytes = 0
 	dead := s.waiters
 	s.waiters = nil
 	s.mu.Unlock()
@@ -497,8 +709,15 @@ func (s *Store) flushLoop() {
 			return
 		case <-s.kick:
 		}
-		if s.opt.Mode == ModeTimer {
-			timer := time.NewTimer(s.opt.Interval)
+		hold := time.Duration(0)
+		switch s.opt.Mode {
+		case ModeTimer:
+			hold = s.opt.Interval
+		case ModeAdaptive:
+			hold = s.adaptiveHold()
+		}
+		if hold > 0 {
+			timer := time.NewTimer(hold)
 			select {
 			case <-timer.C:
 			case <-s.full:
@@ -511,6 +730,39 @@ func (s *Store) flushLoop() {
 		s.drain()
 		s.compact()
 	}
+}
+
+// adaptiveHold maps the store's load onto the AdaptiveDeadline curve:
+// zero when the ring is shallow (flush now — nothing worth waiting for),
+// rising linearly to min(MaxWait, fsync-cost EWMA) at KneeBytes. Load is
+// max(staged backlog, EWMA of recent flush size): the flusher usually
+// wakes on the FIRST rider of a burst, when the instantaneous backlog
+// still looks shallow, so the recent-flush EWMA is what keeps the bus at
+// the stop while the rest of a sustained stream boards. Until the first
+// fsync lands there is no cost estimate and no hold.
+func (s *Store) adaptiveHold() time.Duration {
+	s.mu.Lock()
+	backlog := s.pendingBytes
+	s.mu.Unlock()
+	if backlog == 0 {
+		return 0
+	}
+	ceil := time.Duration(s.ewmaFsync.Load())
+	if ceil <= 0 {
+		return 0
+	}
+	if max := s.opt.AdaptiveDeadline.MaxWait; ceil > max {
+		ceil = max
+	}
+	load := int64(backlog)
+	if recent := s.ewmaTook.Load(); recent > load {
+		load = recent
+	}
+	knee := int64(s.opt.AdaptiveDeadline.KneeBytes)
+	if load >= knee {
+		return ceil
+	}
+	return ceil * time.Duration(load) / time.Duration(knee)
 }
 
 // drain flushes staged chunks until none remain: one fsync for the lot
@@ -543,15 +795,20 @@ func (s *Store) flushOnce(limit int) (fire []waiter, more bool) {
 		fire = failAll(s.waiters)
 		s.waiters = nil
 		s.pending = nil
+		s.pendingBytes = 0
 		s.mu.Unlock()
 		return fire, false
 	}
 	var take []chunk
 	if limit < 0 || limit >= len(s.pending) {
 		take, s.pending = s.pending, nil
+		s.pendingBytes = 0
 	} else {
 		take = s.pending[:limit:limit]
 		s.pending = s.pending[limit:]
+		for _, c := range take {
+			s.pendingBytes -= c.bytes
+		}
 	}
 	s.mu.Unlock()
 
@@ -569,9 +826,28 @@ func (s *Store) flushOnce(limit int) (fire []waiter, more bool) {
 		return fire, false
 	}
 
+	var tookBytes int64
+	for _, c := range take {
+		tookBytes += int64(c.bytes)
+	}
+	if old := s.ewmaTook.Load(); old == 0 {
+		s.ewmaTook.Store(tookBytes)
+	} else {
+		s.ewmaTook.Store(old - old/8 + tookBytes/8)
+	}
+
+	start := time.Now()
 	err := s.writeChunks(take)
 	if err == nil {
 		err = s.syncSeg()
+	}
+	if stall := int64(time.Since(start)); err == nil {
+		for {
+			cur := s.maxStall.Load()
+			if stall <= cur || s.maxStall.CompareAndSwap(cur, stall) {
+				break
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -580,6 +856,7 @@ func (s *Store) flushOnce(limit int) (fire []waiter, more bool) {
 		fire = failAll(s.waiters)
 		s.waiters = nil
 		s.pending = nil
+		s.pendingBytes = 0
 		s.mu.Unlock()
 		return fire, false
 	}
@@ -631,7 +908,7 @@ func (s *Store) writeChunks(chunks []chunk) error {
 		}
 		s.scratch = s.scratch[:0]
 		for _, e := range c.entries {
-			s.scratch = appendRecord(s.scratch, e)
+			s.scratch = appendRecord(s.scratch, e, s.segSeed)
 		}
 		n, err := s.seg.Write(s.scratch)
 		s.segBytes += int64(n)
@@ -648,18 +925,21 @@ func (s *Store) writeChunks(chunks []chunk) error {
 // appendRecord frames one entry into buf: the payload is encoded directly
 // after a reserved header, then the header is filled in — no intermediate
 // per-entry allocation, so a reused scratch buffer makes the whole flush
-// path allocation-free at steady state.
-func appendRecord(buf []byte, e oplog.Entry) []byte {
+// path allocation-free at steady state. The CRC is salted with the
+// segment's seed (0 for snapshots and legacy segments; crc32.Update with
+// seed 0 equals plain crc32.Checksum).
+func appendRecord(buf []byte, e oplog.Entry, seed uint32) []byte {
 	hdr := len(buf)
 	buf = append(buf, make([]byte, recHdrLen)...) // header placeholder, backfilled below
 	buf = oplog.AppendEntry(buf, e)
 	payload := buf[hdr+recHdrLen:]
 	binary.LittleEndian.PutUint32(buf[hdr:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[hdr+4:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(buf[hdr+4:], crc32.Update(seed, castagnoli, payload))
 	return buf
 }
 
 func (s *Store) syncSeg() error {
+	start := time.Now()
 	if d := s.opt.FsyncDelay; d > 0 {
 		// The slow-disk fault: the flush takes this much longer to land.
 		// Sleeping before Sync keeps the failure semantics identical — a
@@ -669,12 +949,23 @@ func (s *Store) syncSeg() error {
 	if err := s.seg.Sync(); err != nil {
 		return err
 	}
+	cost := time.Since(start)
 	s.fsyncs.Add(1)
+	s.fsyncLat.AddDur(cost)
+	// EWMA (α = 1/8) of fsync cost: ModeAdaptive's estimate of what one
+	// more flush would charge, i.e. what a coalescing hold is worth.
+	old := s.ewmaFsync.Load()
+	if old == 0 {
+		s.ewmaFsync.Store(int64(cost))
+	} else {
+		s.ewmaFsync.Store(old - old/8 + int64(cost)/8)
+	}
 	return nil
 }
 
-// openSegLocked opens (or creates) the active segment for appending.
-// Caller holds flushMu.
+// openSegLocked opens (or creates) the active segment for appending,
+// detecting the header version to pick the record-CRC seed. Caller holds
+// flushMu.
 func (s *Store) openSegLocked() error {
 	s.mu.Lock()
 	if len(s.segs) == 0 {
@@ -684,7 +975,7 @@ func (s *Store) openSegLocked() error {
 	}
 	active := s.segs[len(s.segs)-1]
 	s.mu.Unlock()
-	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -694,21 +985,30 @@ func (s *Store) openSegLocked() error {
 		return err
 	}
 	size := info.Size()
-	if size < int64(len(segMagic)) {
+	seed := seedFor(active.start)
+	switch {
+	case size >= int64(segHdrV2) && magicAt(f, segMagicV2):
+		// Salted segment resumed; replay already trimmed it to its data.
+	case size >= int64(len(segMagic)) && magicAt(f, segMagic):
+		seed = 0 // legacy segment: records carry unsalted CRCs
+	default:
 		// Fresh segment (or a header torn by a crash at creation): start it over.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
 			return err
 		}
-		if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		if err := writeSegHeader(f, active.start); err != nil {
 			f.Close()
 			return err
 		}
-		size = int64(len(segMagic))
+		size = int64(segHdrV2)
 		if err := syncDir(s.dir); err != nil {
 			f.Close()
 			return err
 		}
+	}
+	if s.opt.Preallocate && size < int64(s.opt.SegmentBytes) {
+		preallocate(f, int64(s.opt.SegmentBytes)) // best-effort
 	}
 	if _, err := f.Seek(size, io.SeekStart); err != nil {
 		f.Close()
@@ -716,14 +1016,43 @@ func (s *Store) openSegLocked() error {
 	}
 	s.seg = f
 	s.segBytes = size
+	s.segSeed = seed
 	return nil
 }
 
+// magicAt reports whether f begins with magic.
+func magicAt(f *os.File, magic string) bool {
+	buf := make([]byte, len(magic))
+	_, err := f.ReadAt(buf, 0)
+	return err == nil && string(buf) == magic
+}
+
+// writeSegHeader stamps a v2 header — magic plus the segment's absolute
+// start position, the CRC salt — at the front of f.
+func writeSegHeader(f *os.File, start int) error {
+	var hdr [segHdrV2]byte
+	copy(hdr[:], segMagicV2)
+	binary.LittleEndian.PutUint64(hdr[len(segMagicV2):], uint64(start))
+	_, err := f.WriteAt(hdr[:], 0)
+	return err
+}
+
 // rotateLocked seals the active segment and starts the next one at the
-// current end of the flushed+pending stream. Caller holds flushMu.
+// current end of the flushed+pending stream. Sealed segments are trimmed
+// to their data length (recovery demands every byte of a sealed segment
+// verify; the reservation moves to the new segment), and the new segment
+// comes from the free pool when recycling is on. Caller holds flushMu.
 func (s *Store) rotateLocked() error {
 	if err := s.syncSeg(); err != nil {
 		return err
+	}
+	if s.opt.Preallocate {
+		if err := s.seg.Truncate(s.segBytes); err != nil {
+			return err
+		}
+		if err := s.seg.Sync(); err != nil {
+			return err
+		}
 	}
 	if err := s.seg.Close(); err != nil {
 		return err
@@ -735,7 +1064,57 @@ func (s *Store) rotateLocked() error {
 	next := last.start + last.count
 	s.segs = append(s.segs, segment{path: s.segPath(next), start: next})
 	s.mu.Unlock()
-	return s.openSegLocked()
+	return s.newSegLocked(s.segPath(next), next)
+}
+
+// newSegLocked opens the next active segment at path: reborn from the
+// free pool when a retired file is waiting (its blocks already
+// allocated; its old records invisible under the new CRC seed), freshly
+// created and preallocated otherwise. Caller holds flushMu.
+func (s *Store) newSegLocked(path string, start int) error {
+	var free string
+	s.mu.Lock()
+	if n := len(s.freeSegs); n > 0 {
+		free, s.freeSegs = s.freeSegs[n-1], s.freeSegs[:n-1]
+	}
+	s.mu.Unlock()
+	var f *os.File
+	if free != "" {
+		if err := os.Rename(free, path); err != nil {
+			os.Remove(free)
+		} else if g, err := os.OpenFile(path, os.O_RDWR, 0o644); err != nil {
+			os.Remove(path)
+		} else {
+			f = g
+			s.recycled.Add(1)
+		}
+	}
+	if f == nil {
+		g, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		f = g
+	}
+	if err := writeSegHeader(f, start); err != nil {
+		f.Close()
+		return err
+	}
+	if s.opt.Preallocate {
+		preallocate(f, int64(s.opt.SegmentBytes)) // best-effort
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(int64(segHdrV2), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg = f
+	s.segBytes = int64(segHdrV2)
+	s.segSeed = seedFor(start)
+	return nil
 }
 
 func (s *Store) segPath(start int) string {
@@ -746,17 +1125,24 @@ func (s *Store) snapPath(pos int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("snap-%010d.snap", pos))
 }
 
-// compact deletes sealed journal segments every position of which is
-// below both watermarks — durably snapshotted AND acknowledged by every
-// gossip peer. Either alone is not enough: compacting on the snapshot
-// only could strand a slow peer mid-catch-up after a crash, compacting
-// on acks only could leave Open with a journal whose prefix is neither
-// on disk nor reconstructible.
+func (s *Store) deltaPath(pos int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("delta-%010d.snap", pos))
+}
+
+// compact retires sealed journal segments every position of which is
+// below both watermarks — durably covered by a FULL snapshot AND
+// acknowledged by every gossip peer. Either alone is not enough:
+// compacting on the snapshot only could strand a slow peer mid-catch-up
+// after a crash, compacting on acks only could leave Open with a journal
+// whose prefix is neither on disk nor reconstructible. The gate is the
+// chain base, not the chain tip: if the newest delta tears, recovery
+// falls back to a chain prefix, and the journal must still hold
+// everything past it.
 func (s *Store) compact() {
 	s.mu.Lock()
 	keep := s.ackPos
-	if s.snapPos < keep {
-		keep = s.snapPos
+	if s.snapBase < keep {
+		keep = s.snapBase
 	}
 	var doomed []string
 	for len(s.segs) > 1 && s.segs[0].sealed && s.segs[0].start+s.segs[0].count <= keep {
@@ -765,15 +1151,39 @@ func (s *Store) compact() {
 	}
 	s.mu.Unlock()
 	for _, path := range doomed {
-		os.Remove(path)
+		s.retireSeg(path)
 	}
 	if len(doomed) > 0 {
 		syncDir(s.dir)
 	}
 }
 
-// writeSnapshot does the actual temp-write + fsync + rename.
+// retireSeg disposes of a fully-compacted segment file: with recycling
+// on it is renamed into the free pool for the next rotation to reuse,
+// otherwise (or when the pool is full) deleted.
+func (s *Store) retireSeg(path string) {
+	if s.opt.Preallocate {
+		s.mu.Lock()
+		var free string
+		if len(s.freeSegs) < maxFreeSegs {
+			free = filepath.Join(s.dir, fmt.Sprintf("free-%010d.seg", s.freeSeq))
+			s.freeSeq++
+		}
+		s.mu.Unlock()
+		if free != "" && os.Rename(path, free) == nil {
+			s.mu.Lock()
+			s.freeSegs = append(s.freeSegs, free)
+			s.mu.Unlock()
+			return
+		}
+	}
+	os.Remove(path)
+}
+
+// writeSnapshot does the actual temp-write + fsync + rename of a FULL
+// snapshot, and on success resets the delta chain to root here.
 func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Watermark) {
+	began := time.Now()
 	s.mu.Lock()
 	if s.closed || s.failed != nil || pos <= s.snapPos {
 		s.mu.Unlock()
@@ -799,7 +1209,7 @@ func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 	buf = oplog.AppendWatermark(buf, mark)
 	buf = binary.AppendUvarint(buf, uint64(len(entries)))
 	for _, e := range entries {
-		buf = appendRecord(buf, e)
+		buf = appendRecord(buf, e, 0)
 	}
 	buf = append(buf, snapFooter...)
 	*scratch = buf[:0]
@@ -818,10 +1228,114 @@ func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 	}
 	syncDir(s.dir)
 	s.snapshots.Add(1)
+	s.snapLat.AddDur(time.Since(began))
 
 	s.mu.Lock()
 	if pos > s.snapPos {
 		s.snapPos = pos
+	}
+	if pos > s.snapBase {
+		s.snapBase = pos
+	}
+	if s.opt.SnapshotChain > 1 {
+		s.deltasSince = 0
+		if s.deltaOver && s.end == pos {
+			// The overflow's lost range is fully covered by this full cut:
+			// the buffer can re-anchor here.
+			s.deltaOver, s.deltaPend, s.deltaBase = false, nil, pos
+		}
+		if !s.deltaOver {
+			s.dropDeltaPrefixLocked(pos)
+		}
+	}
+	s.mu.Unlock()
+	s.pruneSnapshots()
+	s.compact()
+}
+
+// dropDeltaPrefixLocked discards buffered entries a successful cut at
+// pos now covers. Caller holds mu; the buffer must not be in overflow.
+func (s *Store) dropDeltaPrefixLocked(pos int) {
+	n := pos - s.deltaBase
+	if n <= 0 {
+		return
+	}
+	if n > len(s.deltaPend) {
+		n = len(s.deltaPend)
+	}
+	s.deltaPend = s.deltaPend[n:]
+	s.deltaBase = pos
+}
+
+// writeDelta persists an incremental snapshot cut: just the buffered
+// entries spanning [snapPos, pos), stamped with the parent position so
+// recovery can fold the chain back to its full-snapshot root. The
+// covered prefix leaves the buffer only on success — a skipped or failed
+// cut keeps it, so the next cut covers a superset and no entry silently
+// drops out of the chain.
+func (s *Store) writeDelta(pos int, mark oplog.Watermark) {
+	began := time.Now()
+	s.mu.Lock()
+	if s.closed || s.failed != nil || pos <= s.snapPos {
+		s.mu.Unlock()
+		return
+	}
+	parent := s.snapPos
+	if s.deltaOver || s.deltaBase > parent || pos-s.deltaBase > len(s.deltaPend) ||
+		(s.snapBase == 0 && s.snapPos == 0) {
+		// The buffer cannot produce [parent, pos) — overflow, or there is
+		// no full snapshot to chain from. Fail visibly; the owner's next
+		// cut will be full.
+		s.mu.Unlock()
+		s.snapFails.Add(1)
+		return
+	}
+	ents := s.deltaPend[parent-s.deltaBase : pos-s.deltaBase]
+	s.mu.Unlock()
+
+	size := 64
+	for _, e := range ents {
+		size += recHdrLen + oplog.EntrySize(e)
+	}
+	scratch := oplog.GetBuf()
+	defer oplog.PutBuf(scratch)
+	if cap(*scratch) < size {
+		*scratch = make([]byte, 0, size)
+	}
+	buf := *scratch
+	buf = append(buf, deltaMagic...)
+	buf = binary.AppendUvarint(buf, uint64(pos))
+	buf = binary.AppendUvarint(buf, uint64(parent))
+	buf = oplog.AppendWatermark(buf, mark)
+	buf = binary.AppendUvarint(buf, uint64(len(ents)))
+	for _, e := range ents {
+		buf = appendRecord(buf, e, 0)
+	}
+	buf = append(buf, snapFooter...)
+	*scratch = buf[:0]
+
+	final := s.deltaPath(pos)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
+		s.snapFails.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		s.snapFails.Add(1)
+		return
+	}
+	syncDir(s.dir)
+	s.snapshots.Add(1)
+	s.deltaSnaps.Add(1)
+	s.snapLat.AddDur(time.Since(began))
+
+	s.mu.Lock()
+	if pos > s.snapPos {
+		s.snapPos = pos
+		s.deltasSince++
+		s.dropDeltaPrefixLocked(pos)
 	}
 	s.mu.Unlock()
 	s.pruneSnapshots()
@@ -844,16 +1358,40 @@ func writeFileSync(path string, data []byte) error {
 	return f.Close()
 }
 
-// pruneSnapshots deletes all but the newest KeepSnapshots snapshot files.
+// pruneSnapshots deletes all but the newest KeepSnapshots FULL snapshot
+// files, plus every delta positioned below the oldest retained full —
+// those chain (directly or transitively) only to deleted roots. Deltas
+// above it chain to a retained full and stay: they are the fallback
+// prefixes recovery may need.
 func (s *Store) pruneSnapshots() {
-	names, err := filepath.Glob(filepath.Join(s.dir, "snap-*.snap"))
-	if err != nil || len(names) <= s.opt.KeepSnapshots {
+	fulls, err := filepath.Glob(filepath.Join(s.dir, "snap-*.snap"))
+	if err != nil || len(fulls) <= s.opt.KeepSnapshots {
 		return
 	}
-	sort.Strings(names) // position-padded names sort oldest first
-	for _, path := range names[:len(names)-s.opt.KeepSnapshots] {
+	sort.Strings(fulls) // position-padded names sort oldest first
+	cutoff, err := snapFilePos(fulls[len(fulls)-s.opt.KeepSnapshots])
+	if err != nil {
+		return
+	}
+	for _, path := range fulls[:len(fulls)-s.opt.KeepSnapshots] {
 		os.Remove(path)
 	}
+	deltas, _ := filepath.Glob(filepath.Join(s.dir, "delta-*.snap"))
+	for _, path := range deltas {
+		if pos, err := snapFilePos(path); err == nil && pos < cutoff {
+			os.Remove(path)
+		}
+	}
+}
+
+// snapFilePos extracts the position encoded in a snapshot or delta
+// filename.
+func snapFilePos(path string) (int, error) {
+	name := strings.TrimSuffix(filepath.Base(path), ".snap")
+	if i := strings.IndexByte(name, '-'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strconv.Atoi(name)
 }
 
 // syncDir fsyncs a directory so renames and removals inside it are
@@ -874,7 +1412,7 @@ func (s *Store) replay() (Recovery, error) {
 	if err != nil {
 		return Recovery{}, err
 	}
-	var segPaths, snapPaths []string
+	var segPaths, snapPaths, deltaPaths []string
 	for _, de := range names {
 		name := de.Name()
 		switch {
@@ -883,24 +1421,28 @@ func (s *Store) replay() (Recovery, error) {
 			os.Remove(filepath.Join(s.dir, name))
 		case strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".seg"):
 			segPaths = append(segPaths, name)
+		case strings.HasPrefix(name, "free-") && strings.HasSuffix(name, ".seg"):
+			// A pooled segment from the previous life: rejoin the pool, or
+			// sweep it when recycling is off.
+			path := filepath.Join(s.dir, name)
+			if !s.opt.Preallocate {
+				os.Remove(path)
+				break
+			}
+			s.freeSegs = append(s.freeSegs, path)
+			if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "free-"), ".seg")); err == nil && n >= s.freeSeq {
+				s.freeSeq = n + 1
+			}
 		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
 			snapPaths = append(snapPaths, name)
+		case strings.HasPrefix(name, "delta-") && strings.HasSuffix(name, ".snap"):
+			deltaPaths = append(deltaPaths, name)
 		}
 	}
 	sort.Strings(segPaths)
-	sort.Strings(snapPaths)
 
 	rec := Recovery{}
-	// Newest parseable snapshot wins; a torn or corrupt one falls back to
-	// its predecessor (atomic rename makes this near-impossible, but
-	// recovery code gets to be paranoid for free).
-	for i := len(snapPaths) - 1; i >= 0; i-- {
-		entries, pos, mark, err := loadSnapshot(filepath.Join(s.dir, snapPaths[i]))
-		if err == nil {
-			rec.SnapshotEntries, rec.SnapshotPos, rec.SnapshotMark = entries, pos, mark
-			break
-		}
-	}
+	s.resolveSnapChain(&rec, snapPaths, deltaPaths)
 
 	for i, name := range segPaths {
 		path := filepath.Join(s.dir, name)
@@ -915,7 +1457,7 @@ func (s *Store) replay() (Recovery, error) {
 			return Recovery{}, fmt.Errorf("store: journal gap: segment %q starts at %d, want %d", name, start, rec.End)
 		}
 		final := i == len(segPaths)-1
-		entries, torn, err := s.scanSegment(path, final)
+		entries, torn, err := s.scanSegment(path, start, final)
 		if err != nil {
 			return Recovery{}, err
 		}
@@ -948,31 +1490,132 @@ func segStart(name string) (int, error) {
 	return strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".seg"))
 }
 
+// resolveSnapChain picks the snapshot state recovery starts from: the
+// newest candidate (full or delta) whose every chain link down to a full
+// snapshot verifies end to end. A torn or missing link disqualifies that
+// candidate and the walk restarts from the next-newest — the fallback to
+// a chain prefix (or an older chain). Compaction gates on the chain
+// base, so the journal still retains every position past any prefix tip:
+// the fallback is lossless, and the kill/recover differentials hold
+// byte-identical across it. Chain entries land in rec.SnapshotEntries
+// root-first; position ranges never overlap ([0,base) then each
+// [parent,pos)), and the owner set-unions them anyway.
+func (s *Store) resolveSnapChain(rec *Recovery, snapPaths, deltaPaths []string) {
+	type snapFile struct {
+		pos     int
+		full    bool
+		name    string
+		loaded  bool
+		bad     bool
+		entries []oplog.Entry
+		parent  int
+		mark    oplog.Watermark
+	}
+	var cands []*snapFile
+	for _, name := range snapPaths {
+		if pos, err := snapFilePos(name); err == nil {
+			cands = append(cands, &snapFile{pos: pos, full: true, name: name})
+		}
+	}
+	for _, name := range deltaPaths {
+		if pos, err := snapFilePos(name); err == nil {
+			cands = append(cands, &snapFile{pos: pos, name: name})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pos != cands[j].pos {
+			return cands[i].pos > cands[j].pos
+		}
+		return cands[i].full && !cands[j].full
+	})
+	load := func(c *snapFile) bool {
+		if !c.loaded {
+			c.loaded = true
+			entries, pos, parent, mark, full, err := loadSnapshotFile(filepath.Join(s.dir, c.name))
+			if err != nil || pos != c.pos || full != c.full {
+				c.bad = true
+			} else {
+				c.entries, c.parent, c.mark = entries, parent, mark
+			}
+		}
+		return !c.bad
+	}
+	byPos := func(pos int) *snapFile {
+		var best *snapFile
+		for _, c := range cands {
+			if c.pos == pos && !c.bad && (best == nil || c.full) {
+				best = c
+			}
+		}
+		return best
+	}
+	for _, tip := range cands {
+		var chain []*snapFile
+		ok := true
+		for cur := tip; ; {
+			if !load(cur) {
+				ok = false
+				break
+			}
+			chain = append(chain, cur)
+			if cur.full {
+				break
+			}
+			next := byPos(cur.parent)
+			if next == nil || len(chain) > len(cands) {
+				ok = false // missing link (or a parent cycle in a tampered dir)
+				break
+			}
+			cur = next
+		}
+		if !ok {
+			continue
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			rec.SnapshotEntries = append(rec.SnapshotEntries, chain[i].entries...)
+		}
+		rec.SnapshotPos = tip.pos
+		rec.SnapshotMark = tip.mark
+		rec.SnapshotBase = chain[len(chain)-1].pos
+		rec.Deltas = len(chain) - 1
+		return
+	}
+}
+
 // scanSegment replays one segment file. In a sealed (non-final) segment
 // every record must verify; in the final segment an invalid record is a
 // torn tail — truncated away and durably forgotten — unless valid-looking
-// bytes follow it, which no torn write produces: that is ErrCorrupt.
-func (s *Store) scanSegment(path string, final bool) (entries []oplog.Entry, torn int64, err error) {
+// bytes follow it, which no torn write produces: that is ErrCorrupt. The
+// torn-tail rule also absorbs what preallocation and recycling leave
+// past the real end of a crashed final segment: zero fill and old-life
+// records alike fail their (new-seed) CRCs and truncate away.
+func (s *Store) scanSegment(path string, start int, final bool) (entries []oplog.Entry, torn int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+	var off int
+	var seed uint32
+	switch {
+	case len(data) >= segHdrV2 && string(data[:len(segMagicV2)]) == segMagicV2:
+		off, seed = segHdrV2, seedFor(start)
+	case len(data) >= len(segMagic) && string(data[:len(segMagic)]) == segMagic:
+		off = len(segMagic) // legacy segment: seed 0
+	default:
 		if final {
 			// A crash before the header finished; openSegLocked rewrites it.
 			return nil, int64(len(data)), truncateTo(path, 0)
 		}
 		return nil, 0, fmt.Errorf("store: %s: %w", filepath.Base(path), ErrCorrupt)
 	}
-	off := len(segMagic)
 	for off < len(data) {
 		rest := data[off:]
-		ok, size, e := parseRecord(rest)
+		ok, size, e := parseRecord(rest, seed)
 		if !ok {
 			if !final {
 				return nil, 0, fmt.Errorf("store: %s: record at offset %d: %w", filepath.Base(path), off, ErrCorrupt)
 			}
-			if trailingRecords(rest) {
+			if trailingRecords(rest, seed) {
 				// The bytes beyond the bad record still parse as records:
 				// a torn write cannot leave valid data after the tear, so
 				// this is mid-journal damage, not a crash artifact.
@@ -988,8 +1631,9 @@ func (s *Store) scanSegment(path string, final bool) (entries []oplog.Entry, tor
 }
 
 // parseRecord attempts one record at the front of b, reporting whether
-// it verified, how many bytes it spanned, and the decoded entry.
-func parseRecord(b []byte) (ok bool, size int, e oplog.Entry) {
+// it verified under the segment's CRC seed, how many bytes it spanned,
+// and the decoded entry.
+func parseRecord(b []byte, seed uint32) (ok bool, size int, e oplog.Entry) {
 	if len(b) < recHdrLen {
 		return false, 0, oplog.Entry{}
 	}
@@ -999,7 +1643,7 @@ func parseRecord(b []byte) (ok bool, size int, e oplog.Entry) {
 		return false, 0, oplog.Entry{}
 	}
 	payload := b[recHdrLen : recHdrLen+n]
-	if crc32.Checksum(payload, castagnoli) != sum {
+	if crc32.Update(seed, castagnoli, payload) != sum {
 		return false, recHdrLen + n, oplog.Entry{}
 	}
 	e, err := oplog.DecodeEntry(payload)
@@ -1012,12 +1656,12 @@ func parseRecord(b []byte) (ok bool, size int, e oplog.Entry) {
 // trailingRecords reports whether bytes beyond the (invalid) record at
 // the front of b parse as at least one valid record — the signature of
 // mid-journal corruption rather than a torn tail.
-func trailingRecords(b []byte) bool {
-	_, size, _ := parseRecord(b)
+func trailingRecords(b []byte, seed uint32) bool {
+	_, size, _ := parseRecord(b, seed)
 	if size == 0 || size >= len(b) {
 		return false
 	}
-	ok, _, _ := parseRecord(b[size:])
+	ok, _, _ := parseRecord(b[size:], seed)
 	return ok
 }
 
@@ -1033,43 +1677,61 @@ func truncateTo(path string, size int64) error {
 	return f.Sync()
 }
 
-// loadSnapshot parses one snapshot file end to end; any shortfall —
-// magic, a record CRC, the footer — invalidates the whole file.
-func loadSnapshot(path string) (entries []oplog.Entry, pos int, mark oplog.Watermark, err error) {
+// loadSnapshotFile parses one snapshot file — full or delta — end to
+// end; any shortfall (magic, a record CRC, the footer) invalidates the
+// whole file. Deltas carry one extra header field: the parent position
+// their chain link hangs from.
+func loadSnapshotFile(path string) (entries []oplog.Entry, pos, parent int, mark oplog.Watermark, full bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, oplog.Watermark{}, err
+		return nil, 0, 0, oplog.Watermark{}, false, err
 	}
 	bad := func(what string) error { return fmt.Errorf("store: snapshot %s: bad %s", filepath.Base(path), what) }
-	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
-		return nil, 0, oplog.Watermark{}, bad("magic")
+	fail := func(what string) ([]oplog.Entry, int, int, oplog.Watermark, bool, error) {
+		return nil, 0, 0, oplog.Watermark{}, false, bad(what)
 	}
-	b := data[len(snapMagic):]
+	var b []byte
+	switch {
+	case len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == snapMagic:
+		full, b = true, data[len(snapMagic):]
+	case len(data) >= len(deltaMagic) && string(data[:len(deltaMagic)]) == deltaMagic:
+		b = data[len(deltaMagic):]
+	default:
+		return fail("magic")
+	}
 	upos, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, 0, oplog.Watermark{}, bad("position")
+		return fail("position")
 	}
 	b = b[n:]
+	if !full {
+		uparent, n := binary.Uvarint(b)
+		if n <= 0 || uparent > upos {
+			return fail("parent")
+		}
+		parent = int(uparent)
+		b = b[n:]
+	}
 	mark, b, err = oplog.DecodeWatermark(b)
 	if err != nil {
-		return nil, 0, oplog.Watermark{}, bad("watermark")
+		return fail("watermark")
 	}
 	count, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, 0, oplog.Watermark{}, bad("count")
+		return fail("count")
 	}
 	b = b[n:]
 	entries = make([]oplog.Entry, 0, count)
 	for i := uint64(0); i < count; i++ {
-		ok, size, e := parseRecord(b)
+		ok, size, e := parseRecord(b, 0)
 		if !ok {
-			return nil, 0, oplog.Watermark{}, bad(fmt.Sprintf("record %d", i))
+			return fail(fmt.Sprintf("record %d", i))
 		}
 		entries = append(entries, e)
 		b = b[size:]
 	}
 	if string(b) != snapFooter {
-		return nil, 0, oplog.Watermark{}, bad("footer")
+		return fail("footer")
 	}
-	return entries, int(upos), mark, nil
+	return entries, int(upos), parent, mark, full, nil
 }
