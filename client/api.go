@@ -100,6 +100,38 @@ type Health struct {
 	PeerAddr string `json:"peer_addr,omitempty"`
 }
 
+// TraceEvent is one recorded op-lifecycle step, mirroring the engine's
+// trace.Event wire shape.
+type TraceEvent struct {
+	Seq     uint64 `json:"seq"`
+	AtNS    int64  `json:"at_ns"`
+	Kind    string `json:"kind"` // submitted, admitted, declined, fsynced, gossiped, absorbed, folded, truth, apologized, annotation
+	Op      string `json:"op,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Replica string `json:"replica,omitempty"`
+	Peer    string `json:"peer,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// TraceResponse is the body answering GET /v1/trace. With ?op=ID it is
+// that sampled op's full timeline; without, the recent event ring.
+type TraceResponse struct {
+	// Op echoes the requested op ID ("" for the recent-ring form).
+	Op string `json:"op,omitempty"`
+	// SampleEvery is the daemon's 1-in-N tracing rate (0 = tracing off).
+	SampleEvery int `json:"sample_every"`
+	// Events are the recorded steps, oldest first.
+	Events []TraceEvent `json:"events"`
+}
+
+// AnnotateRequest is the body of POST /v1/annotate: an out-of-band
+// marker ("partition opened", "load phase 2") stamped onto the trace
+// stream so operators can line op lifecycles up with what the world
+// was doing.
+type AnnotateRequest struct {
+	Note string `json:"note"`
+}
+
 // Error is the uniform error envelope: every non-2xx /v1 response
 // carries one.
 type Error struct {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -209,6 +210,29 @@ func (c *Client) Apologies(ctx context.Context) (ApologiesResponse, error) {
 // catch up, and for tests that drive convergence deterministically.
 func (c *Client) Gossip(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/gossip", nil, nil)
+}
+
+// Trace fetches a sampled op's recorded lifecycle timeline. A 404
+// means the op was not sampled (or has been evicted), not that it
+// never ran.
+func (c *Client) Trace(ctx context.Context, opID string) (TraceResponse, error) {
+	var res TraceResponse
+	err := c.do(ctx, http.MethodGet, "/v1/trace?op="+url.QueryEscape(opID), nil, &res)
+	return res, err
+}
+
+// TraceRecent fetches the daemon's recent trace-event ring — sampled
+// lifecycle steps plus annotations, oldest first.
+func (c *Client) TraceRecent(ctx context.Context) (TraceResponse, error) {
+	var res TraceResponse
+	err := c.do(ctx, http.MethodGet, "/v1/trace", nil, &res)
+	return res, err
+}
+
+// Annotate stamps an out-of-band marker onto the daemon's trace
+// stream. Load drivers use it to mark scenario phases.
+func (c *Client) Annotate(ctx context.Context, note string) error {
+	return c.do(ctx, http.MethodPost, "/v1/annotate", AnnotateRequest{Note: note}, nil)
 }
 
 // Health probes /healthz (no auth required).

@@ -13,7 +13,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -21,6 +23,7 @@ import (
 
 	"repro/client"
 	"repro/internal/daemon"
+	"repro/internal/promtext"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func main() {
 		err = cmdPS(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
+	case "scrape":
+		err = cmdScrape(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -62,6 +67,7 @@ commands:
   doctor   preflight a config: data dir, fsync, ports, peer reachability
   ps       show status of running daemons over their HTTP APIs
   submit   submit one operation through a daemon
+  scrape   fetch /metrics, strictly validate the exposition format
 
 run "quicksand <command> -h" for the command's flags.
 `)
@@ -139,6 +145,66 @@ func cmdPS(args []string) error {
 	if down > 0 {
 		return fmt.Errorf("%d daemon(s) unreachable", down)
 	}
+	return nil
+}
+
+// cmdScrape is the CI/ops metrics audit: fetch one daemon's /metrics,
+// run it through the strict exposition parser and the semantic
+// validator (histogram bucket monotonicity, +Inf vs _count, ...), and
+// report scrape size and duration. -require fails unless the named
+// families are present with at least one sample.
+func cmdScrape(args []string) error {
+	fs := flag.NewFlagSet("scrape", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	require := fs.String("require", "", "comma-separated metric families that must be present")
+	timeout := fs.Duration("timeout", 5*time.Second, "scrape timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	hc := &http.Client{Timeout: *timeout}
+	start := time.Now()
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	took := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned %s", resp.Status)
+	}
+	fams, err := promtext.Parse(string(body))
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if err := promtext.Validate(fams); err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f := promtext.Find(fams, name)
+		if f == nil {
+			return fmt.Errorf("required family %s missing", name)
+		}
+		if len(f.Samples) == 0 {
+			return fmt.Errorf("required family %s has no samples", name)
+		}
+	}
+	fmt.Printf("ok: %d families, %d samples, %d bytes in %v\n", len(fams), samples, len(body), took.Round(time.Microsecond))
 	return nil
 }
 

@@ -69,6 +69,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Op is one typed business operation offered to a cluster. The zero Op is
@@ -159,6 +160,7 @@ type config struct {
 	snapChain   int           // snapshot cuts per full snapshot (delta chaining; 1 = every cut full)
 	ingestBatch int           // max ops per ingest-pipeline batch (0 = per-op path)
 	local       map[int]bool  // replica indices hosted by this process (nil = all)
+	tracer      *trace.Tracer // sampled op-lifecycle tracing (nil = off, zero-cost)
 }
 
 // Option configures a Cluster at construction.
@@ -317,6 +319,14 @@ func WithSnapshotEvery(n int) Option { return func(c *config) { c.snapEvery = n 
 // WithDurability.
 func WithSnapshotChain(k int) Option { return func(c *config) { c.snapChain = k } }
 
+// WithTracer attaches a sampled op-lifecycle tracer (internal/trace):
+// every engine stage — submit, admission, journal-fsync cover, gossip
+// ack, absorb, fold, apology — reports sampled ops into t's bounded
+// event ring, from which t derives the guess-to-durable, guess-to-truth,
+// and guess-to-apology lag histograms. Without this option every hook
+// is a single nil check: no sampling hash, no allocation, no lock.
+func WithTracer(t *trace.Tracer) Option { return func(c *config) { c.tracer = t } }
+
 // Result reports the outcome of one submit.
 type Result struct {
 	Accepted bool
@@ -328,8 +338,8 @@ type Result struct {
 
 // Metrics aggregates cluster-wide observations.
 type Metrics struct {
-	AsyncLat stats.Histogram // latency of async (guess) submits
-	SyncLat  stats.Histogram // latency of coordinated submits
+	AsyncLat stats.LatHist // latency of async (guess) submits
+	SyncLat  stats.LatHist // latency of coordinated submits
 
 	Accepted       stats.Counter
 	Declined       stats.Counter // rejected by a local Admit guess
@@ -535,6 +545,10 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 		}
 		lt.SetLatency(cfg.latency)
 	}
+	if cfg.tracer != nil {
+		// Trace events and annotations share the transport's time axis.
+		cfg.tracer.SetClock(func() int64 { return int64(tr.Now()) })
+	}
 	c := &Cluster[S]{
 		tr:        tr,
 		cfg:       cfg,
@@ -719,6 +733,22 @@ func (c *Cluster[S]) DurabilityLatencies() (fsync, snapCut *stats.Histogram) {
 	}
 	return fsync, snapCut
 }
+
+// ShardDurabilityHists merges the full log-bucketed fsync and
+// snapshot-cut latency histograms of one shard's locally hosted
+// replicas — the per-shard durability series behind /metrics. Both are
+// empty without WithDurability.
+func (c *Cluster[S]) ShardDurabilityHists(shard int) (fsync, snapCut *stats.LatHist) {
+	fsync, snapCut = &stats.LatHist{}, &stats.LatHist{}
+	for _, r := range c.groups[shard].reps {
+		r.MergeStoreHists(fsync, snapCut)
+	}
+	return fsync, snapCut
+}
+
+// Tracer returns the op-lifecycle tracer attached with WithTracer, or
+// nil when tracing is off.
+func (c *Cluster[S]) Tracer() *trace.Tracer { return c.cfg.tracer }
 
 // Transport returns the transport the cluster runs on.
 func (c *Cluster[S]) Transport() Transport { return c.tr }
@@ -1006,6 +1036,9 @@ func (c *Cluster[S]) stampIngress(rep *Replica[S], op Op, sc submitConfig) Op {
 	}
 	if op.Note == "" {
 		op.Note = sc.note
+	}
+	if t := c.cfg.tracer; t != nil {
+		t.Submitted(string(op.ID), op.Key, rep.id, int64(op.At))
 	}
 	return op
 }

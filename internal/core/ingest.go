@@ -435,6 +435,15 @@ func (r *Replica[S]) ingestSegment(items []ingestItem) {
 	if snap != nil {
 		snap()
 	}
+	if t := c.cfg.tracer; t != nil && len(accepted) > 0 {
+		// The batch was admitted, folded, and published above in one
+		// critical section; both stages share its exit timestamp.
+		now := int64(c.tr.Now())
+		for i := range accepted {
+			t.Admitted(string(accepted[i].ID), accepted[i].Key, r.id, now)
+			t.Folded(string(accepted[i].ID), r.id, now)
+		}
+	}
 	// Declines carry no recorded work: resolve them immediately, like the
 	// per-op path — which also stamps a latency on declined Results.
 	if len(reasons) > 0 {
@@ -444,6 +453,9 @@ func (r *Replica[S]) ingestSegment(items []ingestItem) {
 			if outcomes[i] == outDeclined {
 				c.M.Declined.Inc()
 				g.M.Declined.Inc()
+				if t := c.cfg.tracer; t != nil {
+					t.Declined(string(items[i].op.ID), items[i].op.Key, r.id, reasons[reasonIdx], int64(now))
+				}
 				items[i].finish(Result{Op: items[i].op, Reason: reasons[reasonIdx],
 					Latency: now.Sub(items[i].start)})
 				reasonIdx++
@@ -486,6 +498,13 @@ func (r *Replica[S]) ingestSegment(items []ingestItem) {
 			}
 			r.Ledger.Record(now, apology.Memory, r.id, memoWhat, op.ID)
 			r.Ledger.Record(now, apology.Guess, r.id, guessWhat, op.ID)
+		}
+		if t := c.cfg.tracer; t != nil {
+			for i := range items {
+				if outcomes[i] == outAccepted {
+					t.Durable(string(items[i].op.ID), r.id, int64(now))
+				}
+			}
 		}
 		if len(accepted) > 0 {
 			r.sweepViolations()

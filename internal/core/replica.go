@@ -592,6 +592,11 @@ func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string, then func(a
 				}
 				r.Ledger.Record(now, apology.Memory, r.id, what, e.ID)
 			}
+			if t := r.c.cfg.tracer; t != nil && how == "gossip" {
+				for _, e := range added {
+					t.Absorbed(string(e.ID), r.id, int64(now))
+				}
+			}
 			if len(added) > 0 {
 				r.sweepViolations()
 			}
@@ -651,7 +656,11 @@ func (r *Replica[S]) sweepViolations() {
 			a := apology.NewApology(rule.Name, v.Detail, v.Amount, r.id)
 			a.Key = v.Key
 			if r.c.Apologies.Submit(a) {
-				r.Ledger.Record(r.c.tr.Now(), apology.Regret, r.id, rule.Name+": "+v.Detail, a.ID)
+				now := r.c.tr.Now()
+				r.Ledger.Record(now, apology.Regret, r.id, rule.Name+": "+v.Detail, a.ID)
+				if t := r.c.cfg.tracer; t != nil {
+					t.Apologized(v.Key, string(a.ID), r.id, int64(now))
+				}
 			}
 		}
 	}
@@ -675,6 +684,9 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 		for _, rule := range r.c.rules {
 			if rule.Admit != nil && !rule.Admit(state, op) {
 				r.mu.Unlock()
+				if t := r.c.cfg.tracer; t != nil {
+					t.Declined(string(op.ID), op.Key, r.id, "rule "+rule.Name, int64(r.c.tr.Now()))
+				}
 				emit(Result{Op: op, Reason: "declined by rule " + rule.Name})
 				return
 			}
@@ -692,6 +704,13 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 	r.mu.Unlock()
 	if snap != nil {
 		snap()
+	}
+	if t := r.c.cfg.tracer; t != nil && len(added) > 0 {
+		// On the per-op path the fold is lazy (the next read derives it),
+		// so admitted and folded share the admission timestamp.
+		now := int64(r.c.tr.Now())
+		t.Admitted(string(op.ID), op.Key, r.id, now)
+		t.Folded(string(op.ID), r.id, now)
 	}
 	if len(added) == 0 {
 		// A duplicate: a retry that raced past dispatch's idempotency
@@ -725,6 +744,9 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 		now := r.c.tr.Now()
 		r.Ledger.Record(now, apology.Memory, r.id, "local "+op.Kind+" "+op.Key, op.ID)
 		r.Ledger.Record(now, apology.Guess, r.id, "accepted "+op.Kind+" "+op.Key+" on local knowledge", op.ID)
+		if t := r.c.cfg.tracer; t != nil {
+			t.Durable(string(op.ID), r.id, int64(now))
+		}
 		r.sweepViolations()
 		emit(Result{Accepted: true, Op: op, Decision: policy.Async})
 	}
@@ -819,13 +841,25 @@ func (r *Replica[S]) pushTo(peer string) {
 	r.c.M.OpsTransferred.Addn(int64(len(entries)))
 	r.g.M.OpsTransferred.Addn(int64(len(entries)))
 	r.node.Call(peer, "push", pushReq{Entries: entries}, func(resp any, ok bool) {
+		acked := ok && resp.(pushAck).OK
 		r.mu.Lock()
 		delete(r.pushing, peer)
-		if ok && resp.(pushAck).OK && end > r.sentTo[peer] {
+		if acked && end > r.sentTo[peer] {
 			r.sentTo[peer] = end
 			r.truncateJournalLocked()
 		}
 		r.mu.Unlock()
+		if acked {
+			// A durable ack means the peer holds every pushed entry — the
+			// cross-process observation that advances guess-to-truth even
+			// when the peer's absorb happens in another daemon.
+			if t := r.c.cfg.tracer; t != nil {
+				now := int64(r.c.tr.Now())
+				for i := range entries {
+					t.GossipAcked(string(entries[i].ID), r.id, peer, now)
+				}
+			}
+		}
 	})
 }
 
@@ -1000,4 +1034,18 @@ func (r *Replica[S]) SpillStoreLatencies(fsync, snapCut *stats.Histogram) {
 	}
 	st.FsyncLatency().Spill(fsync)
 	st.SnapshotCutLatency().Spill(snapCut)
+}
+
+// MergeStoreHists merges the replica's full log-bucketed fsync and
+// snapshot-cut histograms into the given accumulators; a no-op when the
+// replica has no live store.
+func (r *Replica[S]) MergeStoreHists(fsync, snapCut *stats.LatHist) {
+	r.mu.Lock()
+	st := r.store
+	r.mu.Unlock()
+	if st == nil {
+		return
+	}
+	fsync.Merge(st.FsyncHist())
+	snapCut.Merge(st.SnapshotCutHist())
 }

@@ -29,6 +29,8 @@ func ParseServeFlags(args []string) (Config, error) {
 		fsyncEvery = fs.Duration("fsync-every", 0, "journal group-commit interval (0 = immediate coalescing)")
 		callTO     = fs.Duration("call-timeout", 500*time.Millisecond, "replica-to-replica call timeout")
 		batch      = fs.Int("ingest-batch", 0, "max ops per ingest batch (0 = engine default)")
+		traceN     = fs.Int("trace-sample", 0, "trace 1-in-N op lifecycles (0 = default 64, negative = off)")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this private address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
@@ -88,6 +90,12 @@ func ParseServeFlags(args []string) (Config, error) {
 	}
 	if set["ingest-batch"] {
 		cfg.IngestBatch = *batch
+	}
+	if set["trace-sample"] {
+		cfg.TraceSample = *traceN
+	}
+	if set["debug-addr"] {
+		cfg.DebugAddr = *debugAddr
 	}
 	return cfg, nil
 }

@@ -47,6 +47,15 @@ type Config struct {
 	// SnapshotEvery sets journaled entries between durable snapshots
 	// (0 = engine default).
 	SnapshotEvery int
+	// TraceSample is the op-lifecycle tracing rate: trace 1-in-N ops
+	// (plus every apology). 0 takes the default of 64, 1 traces every
+	// op, and a negative value disables tracing entirely — the engine
+	// hooks then cost a single nil check.
+	TraceSample int
+	// DebugAddr, when set, serves net/http/pprof on its own listener
+	// (e.g. "127.0.0.1:6060"). It is never multiplexed onto HTTPListen,
+	// so profiling stays off the public port; bind it to loopback.
+	DebugAddr string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -69,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 500 * time.Millisecond
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 64
 	}
 	return c
 }
@@ -168,6 +180,10 @@ func ParseConfig(text string) (Config, error) {
 			cfg.IngestBatch, err = strconv.Atoi(val)
 		case "snapshot_every":
 			cfg.SnapshotEvery, err = strconv.Atoi(val)
+		case "trace_sample":
+			cfg.TraceSample, err = strconv.Atoi(val)
+		case "debug_addr":
+			cfg.DebugAddr = val
 		default:
 			return cfg, fmt.Errorf("line %d: unknown key %q", ln+1, key)
 		}

@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netx"
+	"repro/internal/trace"
 )
 
 // Daemon is one running quicksandd process: transport + cluster slice +
@@ -25,8 +27,11 @@ type Daemon struct {
 	cfg        Config
 	tr         *netx.Transport
 	cluster    *core.Cluster[Accounts]
+	tracer     *trace.Tracer // nil when tracing is disabled
 	httpLn     net.Listener
 	srv        *http.Server
+	debugLn    net.Listener // pprof listener, nil unless DebugAddr set
+	debugSrv   *http.Server
 	stopGossip func()
 	started    time.Time
 }
@@ -78,11 +83,20 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.IngestBatch > 0 {
 		opts = append(opts, core.WithIngestBatch(cfg.IngestBatch))
 	}
+	var tracer *trace.Tracer
+	if cfg.TraceSample > 0 {
+		tracer = trace.New(trace.Options{
+			SampleEvery: cfg.TraceSample,
+			Replicas:    cfg.Replicas,
+		})
+		opts = append(opts, core.WithTracer(tracer))
+	}
 	cluster := core.New[Accounts](AccountsApp{}, []core.Rule[Accounts]{NoOverdraft()}, opts...)
 	d := &Daemon{
 		cfg:     cfg,
 		tr:      tr,
 		cluster: cluster,
+		tracer:  tracer,
 		started: time.Now(),
 	}
 	d.stopGossip = cluster.StartGossip(cfg.GossipEvery)
@@ -99,8 +113,44 @@ func New(cfg Config) (*Daemon, error) {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go d.srv.Serve(ln)
+	if cfg.DebugAddr != "" {
+		if err := d.startDebug(cfg.DebugAddr); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
 	cfg.logf("quicksandd: node %d serving http on %s, peers on %s", cfg.Node, d.HTTPAddr(), d.PeerAddr())
 	return d, nil
+}
+
+// startDebug binds the opt-in pprof listener. The handlers are mounted
+// on a private mux — never the default one, and never the public API
+// server — so profiling is reachable only on this address.
+func (d *Daemon) startDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("daemon: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.debugLn = ln
+	d.debugSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go d.debugSrv.Serve(ln)
+	d.cfg.logf("quicksandd: pprof on %s (keep this address private)", ln.Addr())
+	return nil
+}
+
+// DebugAddr is the bound pprof address ("" when the debug listener is
+// off).
+func (d *Daemon) DebugAddr() string {
+	if d.debugLn == nil {
+		return ""
+	}
+	return d.debugLn.Addr().String()
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -130,6 +180,11 @@ func (d *Daemon) Close() error {
 	defer cancel()
 	if err := d.srv.Shutdown(shutdownCtx); err != nil {
 		errs = append(errs, fmt.Errorf("http shutdown: %w", err))
+	}
+	if d.debugSrv != nil {
+		if err := d.debugSrv.Shutdown(shutdownCtx); err != nil {
+			errs = append(errs, fmt.Errorf("debug shutdown: %w", err))
+		}
 	}
 	d.stopGossip()
 	if err := d.cluster.Close(); err != nil {

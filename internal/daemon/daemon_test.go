@@ -319,7 +319,9 @@ func TestDoctorOnHealthyConfig(t *testing.T) {
 		DataDir:    t.TempDir(),
 	})
 	for _, c := range checks {
-		if !c.OK {
+		// Advisory findings (an unreachable peer, no daemon up yet for the
+		// metrics probe) do not fail the doctor — same contract as the CLI.
+		if !c.OK && !c.Advisory {
 			t.Errorf("check %s failed: %s", c.Name, c.Detail)
 		}
 	}

@@ -1,0 +1,26 @@
+package daemon
+
+import (
+	"embed"
+	"net/http"
+)
+
+// The dashboard is one self-contained HTML page compiled into the
+// binary — no external assets, no CDN, works on an air-gapped box. It
+// polls /metrics, /v1/apologies and /v1/trace from the browser; the
+// /v1 endpoints need the API token, which the page asks for and keeps
+// in localStorage (the page itself is served unauthenticated, like
+// /metrics — it contains no data, only rendering code).
+//
+//go:embed dash.html
+var dashFS embed.FS
+
+func (d *Daemon) handleDash(w http.ResponseWriter, r *http.Request) {
+	data, err := dashFS.ReadFile("dash.html")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "dashboard asset missing")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(data)
+}

@@ -2,10 +2,14 @@ package daemon
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/promtext"
 )
 
 // Check is one doctor finding.
@@ -48,7 +52,41 @@ func Doctor(cfg Config) []Check {
 		}
 		out = append(out, checkPeerReachable(i, addr))
 	}
+	out = append(out, checkMetricsScrape(cfg.HTTPListen))
 	return out
+}
+
+// checkMetricsScrape probes a running daemon's /metrics on the
+// configured HTTP address: scrape duration, payload size, and a strict
+// parse of the exposition format. No daemon listening is advisory —
+// doctor usually runs preflight, before the daemon is up — but a
+// daemon that answers with an unparsable /metrics is a hard failure:
+// every scraper pointed at it is quietly broken.
+func checkMetricsScrape(addr string) Check {
+	const name = "metrics-scrape"
+	hc := &http.Client{Timeout: 3 * time.Second}
+	start := time.Now()
+	resp, err := hc.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return Check{Name: name, Advisory: true, Detail: fmt.Sprintf("no daemon answering on %s (fine preflight; rerun with one up to audit its metrics)", addr)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	took := time.Since(start).Round(time.Microsecond)
+	if err != nil {
+		return Check{Name: name, Detail: fmt.Sprintf("reading /metrics from %s: %v", addr, err)}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Check{Name: name, Detail: fmt.Sprintf("/metrics on %s returned %s", addr, resp.Status)}
+	}
+	fams, err := promtext.Parse(string(body))
+	if err != nil {
+		return Check{Name: name, Detail: fmt.Sprintf("/metrics on %s is not valid exposition text: %v", addr, err)}
+	}
+	if err := promtext.Validate(fams); err != nil {
+		return Check{Name: name, Detail: fmt.Sprintf("/metrics on %s failed validation: %v", addr, err)}
+	}
+	return Check{Name: name, OK: true, Detail: fmt.Sprintf("%d families, %d bytes in %v", len(fams), len(body), took)}
 }
 
 // checkDataDir verifies the directory exists (creating it if needed) and

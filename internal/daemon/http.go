@@ -24,8 +24,11 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("GET /v1/state", d.auth(d.handleState))
 	mux.HandleFunc("GET /v1/apologies", d.auth(d.handleApologies))
 	mux.HandleFunc("POST /v1/gossip", d.auth(d.handleGossip))
+	mux.HandleFunc("GET /v1/trace", d.auth(d.handleTrace))
+	mux.HandleFunc("POST /v1/annotate", d.auth(d.handleAnnotate))
 	mux.HandleFunc("GET /healthz", d.handleHealth)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /dash", d.handleDash)
 	return mux
 }
 

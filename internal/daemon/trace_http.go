@@ -1,0 +1,69 @@
+package daemon
+
+import (
+	"net/http"
+
+	"repro/client"
+	"repro/internal/trace"
+)
+
+// maxRecentEvents bounds the no-op-ID form of /v1/trace.
+const maxRecentEvents = 512
+
+func toTraceEvents(in []trace.Event) []client.TraceEvent {
+	out := make([]client.TraceEvent, len(in))
+	for i, e := range in {
+		out[i] = client.TraceEvent{
+			Seq:     e.Seq,
+			AtNS:    e.AtNs,
+			Kind:    e.Kind,
+			Op:      e.Op,
+			Key:     e.Key,
+			Replica: e.Replica,
+			Peer:    e.Peer,
+			Note:    e.Note,
+		}
+	}
+	return out
+}
+
+// handleTrace serves op-lifecycle timelines. With ?op=ID it returns
+// that sampled op's full recorded lifecycle (404 when the op was not
+// sampled or has been evicted); without, the recent event ring —
+// sampled lifecycle steps interleaved with scenario annotations.
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := d.tracer
+	if t == nil {
+		writeError(w, http.StatusNotFound, "not_found", "tracing is disabled (trace_sample < 0)")
+		return
+	}
+	resp := client.TraceResponse{SampleEvery: t.SampleEvery()}
+	if op := r.URL.Query().Get("op"); op != "" {
+		events, ok := t.OpTimeline(op)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found", "op not traced: not sampled, or evicted")
+			return
+		}
+		resp.Op = op
+		resp.Events = toTraceEvents(events)
+	} else {
+		resp.Events = toTraceEvents(t.Recent(maxRecentEvents))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAnnotate stamps an operator/scenario marker onto the trace
+// stream. Accepted even when tracing is disabled (a silent no-op) so
+// load drivers need no capability probe.
+func (d *Daemon) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req client.AnnotateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Note == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "note is required")
+		return
+	}
+	d.tracer.Annotate(req.Note) // nil-safe
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

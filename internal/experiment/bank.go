@@ -173,7 +173,7 @@ func E10RiskPolicy() Experiment {
 				stop()
 				s.Run()
 				// Combined latency view across both paths.
-				var merged stats.Histogram
+				var merged stats.LatHist
 				merged.Merge(&b.C.M.AsyncLat)
 				merged.Merge(&b.C.M.SyncLat)
 				tab.AddRow(th.name,

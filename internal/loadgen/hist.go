@@ -1,132 +1,22 @@
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-)
+import "repro/internal/stats"
 
-// LatHist is a fixed-memory, lock-free latency histogram with
-// logarithmically spaced buckets: 16 sub-buckets per power of two of
-// nanoseconds, so every quantile is exact to within ~6% of its value.
-// stats.Histogram keeps raw samples — exact quantiles, but memory and
-// lock contention grow with the sample count, which a sustained driver
-// pushing hundreds of thousands of ops per second for minutes cannot
-// afford. A LatHist is ~1000 atomic counters, Record is one atomic add,
-// and a Snapshot diff turns cumulative counts into a per-second window.
-type LatHist struct {
-	counts [histBuckets]atomic.Int64
-	total  atomic.Int64
-}
+// LatHist lives in internal/stats now — it was born here as the
+// loadgen reporter's fixed-memory latency histogram and got promoted to
+// THE histogram type for the whole engine (core metrics, store fsync
+// latency, trace lifecycle lags, and the daemon's /metrics histograms
+// all record into one). The alias and the thin wrappers below keep the
+// driver code and its tests reading the way they always did.
+type LatHist = stats.LatHist
 
 const (
-	histSubBits = 4                                  // 16 sub-buckets per octave
-	histSub     = 1 << histSubBits                   // sub-buckets per power of two
-	histBuckets = (63-histSubBits)*histSub + histSub // exact small values + log range
+	histBuckets = stats.HistBuckets
+	histSub     = stats.HistSub
 )
 
-// bucketOf maps a nanosecond latency to its bucket index. Values up to
-// 2^histSubBits map exactly; above that, the index is (octave,
-// sub-bucket) — the classic HDR shape.
-func bucketOf(ns int64) int {
-	if ns < 1 {
-		ns = 1
-	}
-	v := uint64(ns)
-	e := bits.Len64(v) - 1 // exponent of the leading bit
-	if e <= histSubBits {
-		return int(v) // 1..31 map to themselves (bucket width 1)
-	}
-	sub := (v >> (uint(e) - histSubBits)) & (histSub - 1)
-	idx := (e-histSubBits)*histSub + int(sub) + histSub
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	return idx
-}
-
-// bucketValue is the representative nanosecond value of a bucket: its
-// lower bound, which keeps quantile estimates conservative (never above
-// the true value by more than one bucket width).
-func bucketValue(idx int) int64 {
-	if idx < histSub {
-		return int64(idx)
-	}
-	idx -= histSub
-	e := idx/histSub + histSubBits
-	sub := idx % histSub
-	return (1 << uint(e)) + int64(sub)<<(uint(e)-histSubBits)
-}
-
-// Record adds one latency sample in nanoseconds.
-func (h *LatHist) Record(ns int64) {
-	h.counts[bucketOf(ns)].Add(1)
-	h.total.Add(1)
-}
-
-// Count reports how many samples were recorded.
-func (h *LatHist) Count() int64 { return h.total.Load() }
-
-// Snapshot copies the cumulative bucket counts. Diffing two snapshots
-// (histDiff) yields the samples recorded between them — the per-second
-// reporting window.
-func (h *LatHist) Snapshot() []int64 {
-	out := make([]int64, histBuckets)
-	for i := range h.counts {
-		out[i] = h.counts[i].Load()
-	}
-	return out
-}
-
-// Quantile reports the q-quantile (0..1) in nanoseconds over all
-// recorded samples, or 0 with none.
-func (h *LatHist) Quantile(q float64) float64 {
-	return quantileOf(h.Snapshot(), q)
-}
-
-// quantileOf computes a quantile from a bucket-count vector.
-func quantileOf(counts []int64, q float64) float64 {
-	var total int64
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen int64
-	for i, c := range counts {
-		seen += c
-		if seen > rank {
-			return float64(bucketValue(i))
-		}
-	}
-	return float64(bucketValue(len(counts) - 1))
-}
-
-// histDiff subtracts prev from cur element-wise — the window between two
-// snapshots. The slices must be the same length.
-func histDiff(cur, prev []int64) []int64 {
-	out := make([]int64, len(cur))
-	for i := range cur {
-		out[i] = cur[i] - prev[i]
-	}
-	return out
-}
-
-// histCount sums a bucket-count vector.
-func histCount(counts []int64) int64 {
-	var n int64
-	for _, c := range counts {
-		n += c
-	}
-	return n
-}
+func bucketOf(ns int64) int                   { return stats.BucketOf(ns) }
+func bucketValue(idx int) int64               { return stats.BucketBound(idx) }
+func quantileOf(c []int64, q float64) float64 { return stats.QuantileOf(c, q) }
+func histDiff(cur, prev []int64) []int64      { return stats.HistDiff(cur, prev) }
+func histCount(c []int64) int64               { return stats.HistCount(c) }

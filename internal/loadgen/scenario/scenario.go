@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loadgen"
+	"repro/internal/trace"
 )
 
 // Stack names a deployment flavour a scenario can run against.
@@ -168,10 +169,15 @@ func (s *Scenario) Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}()
 
+	// Phase markers ride the same trace stream as the op lifecycles, so
+	// a dashboard (or /v1/trace) shows what the scenario was doing when
+	// a lag spike or apology landed.
+	tgt.Annotate(fmt.Sprintf("scenario %s: start (stack=%s seed=%d)", s.Name, cfg.Stack, cfg.Seed))
 	rep, checks, err := s.run(ctx, cfg, tgt)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
 	}
+	tgt.Annotate(fmt.Sprintf("scenario %s: complete", s.Name))
 
 	row := loadgen.FromReport(rep)
 	row.Scenario = s.Name
@@ -197,6 +203,9 @@ func buildTarget(cfg Config) (loadgen.ChaosTarget, error) {
 		opts := []core.Option{
 			core.WithReplicas(cfg.Replicas),
 			core.WithGossipEvery(5 * time.Millisecond),
+			// Scenario clusters always trace (1-in-64): phase markers and
+			// lifecycle lags are the whole point of a chaos run's story.
+			core.WithTracer(trace.New(trace.Options{Replicas: cfg.Replicas})),
 		}
 		if cfg.Shards > 1 {
 			opts = append(opts, core.WithShards(cfg.Shards))

@@ -40,7 +40,21 @@ var FlashSale = register(&Scenario{
 				return loadgen.Op{Kind: "deposit", Key: uniform(), Arg: 1 + r.Int63n(100)}
 			}
 		}
+		// Mark the spike window on the trace stream as it happens, from a
+		// timer rather than the (concurrent, per-worker) generator.
+		spikeCtx, stopSpikeMarks := context.WithCancel(ctx)
+		go func() {
+			if !sleepCtx(spikeCtx, spikeFrom) {
+				return
+			}
+			tgt.Annotate(fmt.Sprintf("flash-sale: spike start on %s", hot))
+			if !sleepCtx(spikeCtx, spikeTo-spikeFrom) {
+				return
+			}
+			tgt.Annotate("flash-sale: spike over")
+		}()
 		rep, err := loadgen.Run(ctx, tgt, spec)
+		stopSpikeMarks()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -124,11 +138,14 @@ var PartitionStorm = register(&Scenario{
 				for i := 0; ; i++ {
 					entry := i % cfg.Replicas
 					tgt.Silence(entry, true)
+					tgt.Annotate(fmt.Sprintf("partition opened: r%d silenced", entry))
 					if !sleepCtx(stormCtx, cycle/2) {
 						tgt.Silence(entry, false)
+						tgt.Annotate(fmt.Sprintf("partition healed: r%d", entry))
 						return
 					}
 					tgt.Silence(entry, false)
+					tgt.Annotate(fmt.Sprintf("partition healed: r%d", entry))
 					if !sleepCtx(stormCtx, cycle/2) {
 						return
 					}
@@ -220,6 +237,7 @@ var RollingChurn = register(&Scenario{
 					}
 					tgt.Kill(entry)
 					kills.Add(1)
+					tgt.Annotate(fmt.Sprintf("churn: r%d killed", entry))
 					sleepCtx(churnCtx, slice/2)
 					// Recover even when the run is over: the invariants need
 					// every replica back to compare. Use the parent ctx — the
@@ -231,6 +249,7 @@ var RollingChurn = register(&Scenario{
 						}
 						return
 					}
+					tgt.Annotate(fmt.Sprintf("churn: r%d recovered", entry))
 				}
 			}()
 		}

@@ -44,6 +44,11 @@ type Target interface {
 	OpCounts() []int
 	// StateOf returns entry's derived state merged across shards.
 	StateOf(entry int) map[string]int64
+	// Annotate stamps an out-of-band marker ("partition opened", "spike
+	// start") onto the deployment's trace stream, so op lifecycles can
+	// be lined up with what the scenario was doing. Best-effort: a stack
+	// without tracing ignores it.
+	Annotate(note string)
 	// Close releases whatever the target owns.
 	Close() error
 }
@@ -197,6 +202,9 @@ func (t *ClusterTarget) Recover(ctx context.Context, entry int) error {
 	}
 	return nil
 }
+
+// Annotate marks the cluster's trace stream (a no-op without a tracer).
+func (t *ClusterTarget) Annotate(note string) { t.C.Tracer().Annotate(note) }
 
 func (t *ClusterTarget) Close() error { return t.C.Close() }
 
@@ -445,6 +453,17 @@ func (t *NetTarget) Recover(ctx context.Context, entry int) error {
 		}
 	}
 	return nil
+}
+
+// Annotate stamps the marker onto every daemon's trace stream, so the
+// dashboard shows scenario phases no matter which daemon it watches.
+// Best-effort: a dead daemon just misses the marker.
+func (t *NetTarget) Annotate(note string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, cl := range t.clients {
+		cl.Annotate(ctx, note)
+	}
 }
 
 func (t *NetTarget) Close() error {

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,6 +171,40 @@ func (t *Transport) AddPeer(id, addr string) {
 		go p.run()
 	}
 	t.peerOf[id] = p
+}
+
+// PeerStat is one outbound link's health snapshot: liveness plus the
+// frame/byte counters and the propagation timestamp of the last
+// successful write.
+type PeerStat struct {
+	Addr          string
+	Up            bool
+	FramesSent    int64
+	BytesSent     int64
+	FramesDropped int64
+	Reconnects    int64
+	LastSendNs    int64 // UnixNano of the last successful write; 0 before any
+}
+
+// PeerStats snapshots every configured outbound peer link, sorted by
+// address for stable /metrics output.
+func (t *Transport) PeerStats() []PeerStat {
+	t.mu.Lock()
+	out := make([]PeerStat, 0, len(t.peers))
+	for addr, p := range t.peers {
+		out = append(out, PeerStat{
+			Addr:          addr,
+			Up:            p.dialed.Load() && !p.down.Load(),
+			FramesSent:    p.framesSent.Load(),
+			BytesSent:     p.bytesSent.Load(),
+			FramesDropped: p.framesDropped.Load(),
+			Reconnects:    p.reconnects.Load(),
+			LastSendNs:    p.lastSendNs.Load(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // Addr reports the bound listen address ("" when not listening).
@@ -577,6 +612,14 @@ type peer struct {
 	addr  string
 	sendq chan []byte
 	down  atomic.Bool // last dial or write failed; cleared on reconnect
+
+	// Link-health telemetry, exported per peer on the daemon's /metrics.
+	framesSent    atomic.Int64
+	bytesSent     atomic.Int64
+	framesDropped atomic.Int64 // queue full, link down, or transport closed
+	reconnects    atomic.Int64 // successful dials after the first
+	dialed        atomic.Bool  // a dial has succeeded at least once
+	lastSendNs    atomic.Int64 // wall clock (UnixNano) of the last successful write
 }
 
 func newPeer(t *Transport, addr string) *peer {
@@ -588,6 +631,7 @@ func newPeer(t *Transport, addr string) *peer {
 func (p *peer) send(frame []byte) bool {
 	select {
 	case <-p.t.closed:
+		p.framesDropped.Add(1)
 		return false
 	default:
 	}
@@ -595,6 +639,7 @@ func (p *peer) send(frame []byte) bool {
 	case p.sendq <- frame:
 		return true
 	default:
+		p.framesDropped.Add(1)
 		return false
 	}
 }
@@ -644,6 +689,9 @@ func (p *peer) run() {
 			}
 			conn = c
 			p.down.Store(false)
+			if p.dialed.Swap(true) {
+				p.reconnects.Add(1)
+			}
 			backoff = 50 * time.Millisecond
 			p.t.cfg.logf("netx: connected to %s", p.addr)
 			if frame == nil {
@@ -664,6 +712,11 @@ func (p *peer) run() {
 			conn.Close()
 			conn = nil
 			p.down.Store(true)
+			p.framesDropped.Add(1)
+		} else {
+			p.framesSent.Add(1)
+			p.bytesSent.Add(int64(len(frame)))
+			p.lastSendNs.Store(time.Now().UnixNano())
 		}
 	}
 }

@@ -1,0 +1,407 @@
+// Package promtext is a strict parser and validator for the Prometheus
+// text exposition format (version 0.0.4) — strict on purpose: the
+// daemon's /metrics is hand-rolled, so the test suite and the
+// `quicksand scrape` probe parse a live scrape with this package and
+// fail on anything a real Prometheus server would reject or silently
+// mangle: samples without a TYPE, HELP/TYPE naming mismatches,
+// duplicate families, malformed labels, histograms whose cumulative
+// buckets decrease, le bounds out of order, or a +Inf bucket that
+// disagrees with _count.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+	Line   int // 1-based line number in the scraped text
+}
+
+// Family is one metric family: its HELP/TYPE header plus every sample
+// belonging to it (for histograms and summaries that includes the
+// _bucket/_sum/_count series).
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Help    string
+	Samples []Sample
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// Parse parses text-format metrics strictly. Every sample must follow
+// a # TYPE header for its family, every # TYPE must follow the
+// family's # HELP, and no family may appear twice.
+func Parse(text string) ([]*Family, error) {
+	var (
+		fams    []*Family
+		byName  = map[string]*Family{}
+		cur     *Family
+		curHelp string // family name of the pending HELP line
+	)
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if curHelp != "" {
+				return nil, fmt.Errorf("line %d: HELP for %s follows HELP for %s without a TYPE between", lineNo, name, curHelp)
+			}
+			curHelp = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !validTypes[typ] {
+				return nil, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+			}
+			if curHelp != name {
+				return nil, fmt.Errorf("line %d: TYPE for %s not preceded by its HELP (pending HELP: %q)", lineNo, name, curHelp)
+			}
+			curHelp = ""
+			if byName[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate metric family %s", lineNo, name)
+			}
+			cur = &Family{Name: name, Type: typ}
+			byName[name] = cur
+			fams = append(fams, cur)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free comment
+		}
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		fam := familyFor(cur, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s outside its family's TYPE block", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if curHelp != "" {
+		return nil, fmt.Errorf("HELP for %s has no TYPE", curHelp)
+	}
+	return fams, nil
+}
+
+// familyFor reports whether sample name belongs to the current family —
+// exact for scalar types, allowing the _bucket/_sum/_count suffixes for
+// histograms and summaries.
+func familyFor(cur *Family, name string) *Family {
+	if cur == nil {
+		return nil
+	}
+	if name == cur.Name {
+		return cur
+	}
+	base, ok := strings.CutSuffix(name, "_bucket")
+	if ok && base == cur.Name && cur.Type == "histogram" {
+		return cur
+	}
+	for _, suf := range []string{"_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && base == cur.Name &&
+			(cur.Type == "histogram" || cur.Type == "summary") {
+			return cur
+		}
+	}
+	return nil
+}
+
+func parseSample(line string, lineNo int) (Sample, error) {
+	s := Sample{Line: lineNo, Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("line %d: sample does not start with a metric name: %q", lineNo, line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("line %d: unterminated label set: %q", lineNo, line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; the daemon
+	// never emits one, and strict mode rejects it to keep the surface
+	// predictable.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("line %d: trailing content after value: %q", lineNo, line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad value %q: %v", lineNo, rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		val, rest, err := readQuoted(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %v", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val
+		s = rest
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// readQuoted consumes a double-quoted string with \\, \", and \n
+// escapes, returning the decoded value and the remainder after the
+// closing quote.
+func readQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Validate checks semantic invariants across parsed families:
+// counters are finite and non-negative; every histogram label set has
+// ascending le bounds, non-decreasing cumulative counts, a +Inf bucket
+// equal to its _count, and a _sum; summaries carry _sum and _count.
+func Validate(fams []*Family) error {
+	for _, f := range fams {
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0 {
+					return fmt.Errorf("line %d: counter %s has invalid value %v", s.Line, s.Name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := validateHistogram(f); err != nil {
+				return err
+			}
+		case "summary":
+			var sum, count bool
+			for _, s := range f.Samples {
+				sum = sum || s.Name == f.Name+"_sum"
+				count = count || s.Name == f.Name+"_count"
+			}
+			if !sum || !count {
+				return fmt.Errorf("summary %s missing _sum or _count", f.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// histSeries collects one label set's view of a histogram family.
+type histSeries struct {
+	buckets  []Sample // _bucket samples in exposition order
+	sum      *Sample
+	count    *Sample
+	firstRef int
+}
+
+// validateHistogram groups a family's samples by their labels (minus
+// le) and checks each group independently.
+func validateHistogram(f *Family) error {
+	groups := map[string]*histSeries{}
+	var order []string
+	get := func(s Sample) *histSeries {
+		key := labelKey(s.Labels, "le")
+		g := groups[key]
+		if g == nil {
+			g = &histSeries{firstRef: s.Line}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			g := get(s)
+			g.buckets = append(g.buckets, s)
+		case f.Name + "_sum":
+			get(s).sum = &f.Samples[i]
+		case f.Name + "_count":
+			get(s).count = &f.Samples[i]
+		default:
+			return fmt.Errorf("line %d: histogram %s has bare sample %s", s.Line, f.Name, s.Name)
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("histogram %s{%s}: no buckets (near line %d)", f.Name, key, g.firstRef)
+		}
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("histogram %s{%s}: missing _sum or _count", f.Name, key)
+		}
+		prevLe := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range g.buckets {
+			leStr, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", b.Line)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", b.Line, leStr, err)
+			}
+			if le <= prevLe {
+				return fmt.Errorf("line %d: histogram %s{%s}: le %v not ascending (previous %v)", b.Line, f.Name, key, le, prevLe)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("line %d: histogram %s{%s}: cumulative count decreased (%v after %v)", b.Line, f.Name, key, b.Value, prevCum)
+			}
+			prevLe, prevCum = le, b.Value
+			sawInf = sawInf || math.IsInf(le, 1)
+		}
+		if !sawInf {
+			return fmt.Errorf("histogram %s{%s}: no +Inf bucket", f.Name, key)
+		}
+		if last := g.buckets[len(g.buckets)-1]; last.Value != g.count.Value {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", f.Name, key, last.Value, g.count.Value)
+		}
+	}
+	return nil
+}
+
+// labelKey renders labels (minus skip) as a stable "k=v,..." key.
+func labelKey(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Find returns the named family, or nil.
+func Find(fams []*Family, name string) *Family {
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodDoc = `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_temp_celsius Current temperature.
+# TYPE app_temp_celsius gauge
+app_temp_celsius{room="lab",floor="2"} -3.5
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 5
+app_latency_seconds_bucket{le="1"} 9
+app_latency_seconds_bucket{le="+Inf"} 10
+app_latency_seconds_sum 4.2
+app_latency_seconds_count 10
+# HELP app_lag_seconds Lag summary.
+# TYPE app_lag_seconds summary
+app_lag_seconds{quantile="0.5"} 0.01
+app_lag_seconds{quantile="0.99"} 0.5
+app_lag_seconds_sum 12
+app_lag_seconds_count 900
+`
+
+func TestParseAndValidateGoodDoc(t *testing.T) {
+	fams, err := Parse(goodDoc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Validate(fams); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(fams) != 4 {
+		t.Fatalf("got %d families, want 4", len(fams))
+	}
+	g := Find(fams, "app_temp_celsius")
+	if g == nil || g.Type != "gauge" {
+		t.Fatalf("gauge family missing: %+v", g)
+	}
+	if got := g.Samples[0].Labels["room"]; got != "lab" {
+		t.Errorf("label room = %q", got)
+	}
+	if g.Samples[0].Value != -3.5 {
+		t.Errorf("gauge value = %v", g.Samples[0].Value)
+	}
+	h := Find(fams, "app_latency_seconds")
+	if len(h.Samples) != 5 {
+		t.Errorf("histogram family holds %d samples, want buckets+sum+count=5", len(h.Samples))
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"sample without TYPE", "foo_total 1\n", "outside its family"},
+		{"TYPE without HELP", "# TYPE foo counter\nfoo 1\n", "not preceded by its HELP"},
+		{"HELP TYPE name mismatch", "# HELP foo A.\n# TYPE bar counter\nbar 1\n", "not preceded by its HELP"},
+		{"dangling HELP", "# HELP foo A.\n", "no TYPE"},
+		{"duplicate family", "# HELP a A.\n# TYPE a counter\na 1\n# HELP a A.\n# TYPE a counter\na 2\n", "duplicate"},
+		{"unknown type", "# HELP a A.\n# TYPE a histo\na 1\n", "unknown metric type"},
+		{"bad value", "# HELP a A.\n# TYPE a counter\na one\n", "bad value"},
+		{"unterminated labels", "# HELP a A.\n# TYPE a counter\na{x=\"1\" 1\n", "unterminated"},
+		{"foreign sample in block", "# HELP a A.\n# TYPE a counter\nb 1\n", "outside its family"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.doc)
+			if err == nil {
+				t.Fatalf("parsed without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"negative counter", "# HELP a A.\n# TYPE a counter\na -1\n", "invalid value"},
+		{"no +Inf bucket",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"no +Inf"},
+		{"le not ascending",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"not ascending"},
+		{"cumulative decreases",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"decreased"},
+		{"inf disagrees with count",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= _count"},
+		{"histogram missing sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum"},
+		{"summary missing count",
+			"# HELP s S.\n# TYPE s summary\ns{quantile=\"0.5\"} 1\ns_sum 2\n",
+			"missing _sum or _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fams, err := Parse(tc.doc)
+			if err != nil {
+				t.Fatalf("parse should succeed, validation should fail: %v", err)
+			}
+			err = Validate(fams)
+			if err == nil {
+				t.Fatalf("validated without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Histograms with labeled series must be validated per label set: two
+// shards' buckets interleaved under one family are each monotone even
+// though the merged sequence is not.
+func TestValidateHistogramPerLabelSet(t *testing.T) {
+	doc := `# HELP h H.
+# TYPE h histogram
+h_bucket{shard="0",le="1"} 10
+h_bucket{shard="0",le="+Inf"} 12
+h_sum{shard="0"} 5
+h_count{shard="0"} 12
+h_bucket{shard="1",le="1"} 2
+h_bucket{shard="1",le="+Inf"} 3
+h_sum{shard="1"} 1
+h_count{shard="1"} 3
+`
+	fams, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Validate(fams); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}

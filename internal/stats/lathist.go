@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatHist is a fixed-memory, lock-free latency histogram with
+// logarithmically spaced buckets: 16 sub-buckets per power of two of
+// nanoseconds, so every quantile is exact to within ~6% of its value.
+// Histogram keeps raw samples — exact quantiles, but memory and lock
+// contention grow with the sample count, which a long-lived daemon or a
+// sustained driver pushing hundreds of thousands of ops per second
+// cannot afford. A LatHist is ~1000 atomic counters, Record is two
+// atomic adds, and a Snapshot diff turns cumulative counts into a
+// per-window view. It is the single histogram type behind /metrics:
+// Buckets/BucketBound expose the log-bucketed layout so the Prometheus
+// renderer can emit full histogram series rather than p50/p99 summaries.
+type LatHist struct {
+	counts [HistBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // nanoseconds, for Prometheus _sum
+}
+
+const (
+	histSubBits = 4 // 16 sub-buckets per octave
+
+	// HistSub is the sub-bucket count per power of two — the histogram's
+	// relative resolution (bucket width ≤ value/HistSub).
+	HistSub = 1 << histSubBits
+
+	// HistBuckets is the fixed bucket count: exact small values plus the
+	// (octave, sub-bucket) log range covering every int64 nanosecond.
+	HistBuckets = (63-histSubBits)*HistSub + HistSub
+)
+
+// BucketOf maps a nanosecond latency to its bucket index. Values up to
+// 2^histSubBits map exactly; above that, the index is (octave,
+// sub-bucket) — the classic HDR shape.
+func BucketOf(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	v := uint64(ns)
+	e := bits.Len64(v) - 1 // exponent of the leading bit
+	if e <= histSubBits {
+		return int(v) // 1..31 map to themselves (bucket width 1)
+	}
+	sub := (v >> (uint(e) - histSubBits)) & (HistSub - 1)
+	idx := (e-histSubBits)*HistSub + int(sub) + HistSub
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	return idx
+}
+
+// BucketBound is the representative nanosecond value of a bucket: its
+// lower bound, which keeps quantile estimates conservative (never above
+// the true value by more than one bucket width). BucketBound(idx+1) is
+// the bucket's exclusive upper bound.
+func BucketBound(idx int) int64 {
+	if idx < HistSub {
+		return int64(idx)
+	}
+	idx -= HistSub
+	e := idx/HistSub + histSubBits
+	sub := idx % HistSub
+	return (1 << uint(e)) + int64(sub)<<(uint(e)-histSubBits)
+}
+
+// Record adds one latency sample in nanoseconds.
+func (h *LatHist) Record(ns int64) {
+	h.counts[BucketOf(ns)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(ns)
+}
+
+// AddDur records a duration sample. The name matches Histogram so the
+// two types are drop-in replacements at recording sites.
+func (h *LatHist) AddDur(d time.Duration) { h.Record(int64(d)) }
+
+// Count reports how many samples were recorded.
+func (h *LatHist) Count() int64 { return h.total.Load() }
+
+// Sum reports the total of all recorded samples in nanoseconds.
+func (h *LatHist) Sum() int64 { return h.sum.Load() }
+
+// Snapshot copies the cumulative bucket counts. Diffing two snapshots
+// (HistDiff) yields the samples recorded between them — the per-second
+// reporting window.
+func (h *LatHist) Snapshot() []int64 {
+	out := make([]int64, HistBuckets)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Merge adds every bucket of o into h.
+func (h *LatHist) Merge(o *LatHist) {
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Quantile reports the q-quantile (0..1) in nanoseconds over all
+// recorded samples, or 0 with none.
+func (h *LatHist) Quantile(q float64) float64 {
+	return QuantileOf(h.Snapshot(), q)
+}
+
+// QuantileDur is Quantile as a time.Duration.
+func (h *LatHist) QuantileDur(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// P50 reports the median in nanoseconds.
+func (h *LatHist) P50() float64 { return h.Quantile(0.50) }
+
+// P99 reports the 99th percentile in nanoseconds.
+func (h *LatHist) P99() float64 { return h.Quantile(0.99) }
+
+// QuantileOf computes a quantile from a bucket-count vector.
+func QuantileOf(counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return float64(BucketBound(i))
+		}
+	}
+	return float64(BucketBound(len(counts) - 1))
+}
+
+// HistDiff subtracts prev from cur element-wise — the window between two
+// snapshots. The slices must be the same length.
+func HistDiff(cur, prev []int64) []int64 {
+	out := make([]int64, len(cur))
+	for i := range cur {
+		out[i] = cur[i] - prev[i]
+	}
+	return out
+}
+
+// HistCount sums a bucket-count vector.
+func HistCount(counts []int64) int64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

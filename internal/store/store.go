@@ -356,8 +356,14 @@ type Store struct {
 	ewmaTook   atomic.Int64 // EWMA of framed bytes per flush (ModeAdaptive's load signal)
 	tornBytes  int64
 
-	fsyncLat *stats.Reservoir // fsync durations, ns
+	fsyncLat *stats.Reservoir // fsync durations, ns (bounded sample, bench tables)
 	snapLat  *stats.Reservoir // snapshot-cut durations, ns
+
+	// Full log-bucketed distributions of the same events, for the
+	// daemon's Prometheus histogram series. Fixed memory, so a
+	// long-lived store records every fsync instead of a sample.
+	fsyncHist stats.LatHist
+	snapHist  stats.LatHist
 }
 
 // Open replays dir (created if absent) and returns the store positioned
@@ -452,6 +458,12 @@ func (s *Store) FsyncLatency() *stats.Reservoir { return s.fsyncLat }
 // SnapshotCutLatency exposes the sampled distribution of snapshot-cut
 // durations (serialize + write + fsync + rename), full and delta alike.
 func (s *Store) SnapshotCutLatency() *stats.Reservoir { return s.snapLat }
+
+// FsyncHist exposes the full log-bucketed fsync-cost histogram.
+func (s *Store) FsyncHist() *stats.LatHist { return &s.fsyncHist }
+
+// SnapshotCutHist exposes the full log-bucketed snapshot-cut histogram.
+func (s *Store) SnapshotCutHist() *stats.LatHist { return &s.snapHist }
 
 // NextSnapshotIsFull reports whether the next WriteSnapshot cut must
 // carry the full ledger: always when chaining is disabled, when no full
@@ -952,6 +964,7 @@ func (s *Store) syncSeg() error {
 	cost := time.Since(start)
 	s.fsyncs.Add(1)
 	s.fsyncLat.AddDur(cost)
+	s.fsyncHist.AddDur(cost)
 	// EWMA (α = 1/8) of fsync cost: ModeAdaptive's estimate of what one
 	// more flush would charge, i.e. what a coalescing hold is worth.
 	old := s.ewmaFsync.Load()
@@ -1228,7 +1241,9 @@ func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 	}
 	syncDir(s.dir)
 	s.snapshots.Add(1)
-	s.snapLat.AddDur(time.Since(began))
+	cut := time.Since(began)
+	s.snapLat.AddDur(cut)
+	s.snapHist.AddDur(cut)
 
 	s.mu.Lock()
 	if pos > s.snapPos {
@@ -1329,7 +1344,9 @@ func (s *Store) writeDelta(pos int, mark oplog.Watermark) {
 	syncDir(s.dir)
 	s.snapshots.Add(1)
 	s.deltaSnaps.Add(1)
-	s.snapLat.AddDur(time.Since(began))
+	cut := time.Since(began)
+	s.snapLat.AddDur(cut)
+	s.snapHist.AddDur(cut)
 
 	s.mu.Lock()
 	if pos > s.snapPos {
