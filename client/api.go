@@ -46,6 +46,10 @@ type Result struct {
 	Accepted bool `json:"accepted"`
 	// Reason explains a decline ("declined by rule no-overdraft", ...).
 	Reason string `json:"reason,omitempty"`
+	// Retryable marks a decline as transient — the shard was degraded
+	// (read-only while its disk heals) rather than the business being
+	// refused. Resubmitting the same op (same ID) later may succeed.
+	Retryable bool `json:"retryable,omitempty"`
 	// Sync reports whether the op was coordinated across replicas.
 	Sync bool `json:"sync,omitempty"`
 	// ID is the operation's identity — the caller's, or the one the
@@ -93,11 +97,18 @@ type ApologiesResponse struct {
 
 // Health is the body answering GET /healthz (unauthenticated).
 type Health struct {
+	// OK is true while every locally hosted shard replica can take
+	// writes. It is false while any shard is degraded — the node still
+	// serves reads (and the other shards' writes), so OK=false means
+	// "investigate", not "dead".
 	OK       bool   `json:"ok"`
 	Node     int    `json:"node"`
 	Shards   int    `json:"shards"`
 	Replicas int    `json:"replicas"`
 	PeerAddr string `json:"peer_addr,omitempty"`
+	// Degraded lists each degraded shard as "shard N: replica: reason".
+	// Empty on a healthy node.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // TraceEvent is one recorded op-lifecycle step, mirroring the engine's
@@ -136,7 +147,10 @@ type AnnotateRequest struct {
 // carries one.
 type Error struct {
 	// Code is a stable machine-readable slug: "unauthorized",
-	// "bad_request", "not_found", "unavailable", "internal".
+	// "bad_request", "not_found", "unavailable", "internal",
+	// "degraded" (503: the target shard is read-only while its disk
+	// heals; retry after the Retry-After interval), "overloaded" (429:
+	// the ingest ring is saturated; back off and retry).
 	Code string `json:"code"`
 	// Message is human-readable detail.
 	Message string `json:"message"`

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -72,6 +74,10 @@ type APIError struct {
 	Status  int    // HTTP status
 	Code    string // stable slug from the envelope
 	Message string
+	// RetryAfter is the server's Retry-After hint (0 when absent). The
+	// SDK already honors it between its own retries; callers that manage
+	// their own retry loop should too.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -79,11 +85,12 @@ func (e *APIError) Error() string {
 }
 
 // retryable reports whether err (or an API error status) is worth
-// retrying: transport failures and 5xx yes, 4xx no.
+// retrying: transport failures, 5xx, and 429 (the daemon shedding load)
+// yes, other 4xx no.
 func retryable(err error) bool {
 	var ae *APIError
 	if ok := asAPIError(err, &ae); ok {
-		return ae.Status >= 500
+		return ae.Status >= 500 || ae.Status == http.StatusTooManyRequests
 	}
 	return true
 }
@@ -112,7 +119,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.backoff << (attempt - 1)):
+			case <-time.After(c.retryDelay(attempt, lastErr)):
 			}
 		}
 		lastErr = c.once(ctx, method, path, body, out)
@@ -121,6 +128,34 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	return lastErr
+}
+
+// retryDelay is the wait before retry attempt n: exponential backoff
+// with full-range jitter (uniform in [base/2, base], so a fleet of
+// clients bounced by the same degraded shard does not retry in
+// lockstep), floored by the server's Retry-After hint when the previous
+// response carried one — the daemon knows when its disk might heal
+// better than our backoff curve does.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	base := c.backoff << (attempt - 1)
+	wait := base/2 + jitter(base/2)
+	var ae *APIError
+	if asAPIError(lastErr, &ae) && ae.RetryAfter > wait {
+		wait = ae.RetryAfter
+	}
+	return wait
+}
+
+// jitter returns a uniform random duration in [0, max].
+func jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return max / 2
+	}
+	return time.Duration(binary.LittleEndian.Uint64(b[:]) % uint64(max+1))
 }
 
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
@@ -148,11 +183,12 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
 		var env ErrorEnvelope
 		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: ra}
 		}
-		return &APIError{Status: resp.StatusCode, Code: "internal", Message: strings.TrimSpace(string(data))}
+		return &APIError{Status: resp.StatusCode, Code: "internal", Message: strings.TrimSpace(string(data)), RetryAfter: ra}
 	}
 	if out == nil {
 		return nil
@@ -161,6 +197,19 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("client: decode response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter parses a Retry-After header's delay-seconds form
+// (the only form the daemon emits); anything else yields 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Submit offers one operation. A missing op ID is filled in before the

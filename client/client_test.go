@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestSubmitRetriesAreIdempotent: the SDK assigns the op ID before the
@@ -90,5 +91,59 @@ func TestBearerTokenHeader(t *testing.T) {
 	c := New(srv.URL, WithToken("hunter2"))
 	if _, err := c.State(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestClientRetries429WithRetryAfter: a 429 (the daemon shedding load)
+// is retryable, and the server's Retry-After hint reaches the APIError
+// so both the SDK's own loop and caller-managed loops can honor it.
+func TestClientRetries429WithRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorEnvelope{Error: Error{Code: "overloaded", Message: "ring full"}})
+			return
+		}
+		json.NewEncoder(w).Encode(Result{Accepted: true, ID: "x"})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(2))
+	start := time.Now()
+	res, err := c.Submit(context.Background(), Op{Kind: "deposit", Key: "k", Arg: 1}, false)
+	if err != nil || !res.Accepted {
+		t.Fatalf("submit after 429: %+v, %v", res, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("expected exactly one retry, saw %d calls", n)
+	}
+	// The retry waited out the server's hint, not just the 50ms backoff.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry after %v ignored Retry-After: 1", elapsed)
+	}
+}
+
+// TestRetryDelayJitters: backoff delays are spread over [base/2, base]
+// so a fleet bounced together does not retry together, and a server
+// Retry-After floors the wait.
+func TestRetryDelayJitters(t *testing.T) {
+	c := New("127.0.0.1:1")
+	base := c.backoff << 1 // attempt 2
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		d := c.retryDelay(2, nil)
+		if d < base/2 || d > base {
+			t.Fatalf("retryDelay = %v, want within [%v, %v]", d, base/2, base)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("50 samples produced one delay; jitter is not jittering")
+	}
+	ae := &APIError{Status: 503, Code: "degraded", RetryAfter: 42 * time.Second}
+	if d := c.retryDelay(1, ae); d != 42*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
 	}
 }

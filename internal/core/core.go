@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/apology"
+	"repro/internal/faultfs"
 	"repro/internal/oplog"
 	"repro/internal/policy"
 	"repro/internal/shard"
@@ -161,6 +162,7 @@ type config struct {
 	ingestBatch int           // max ops per ingest-pipeline batch (0 = per-op path)
 	local       map[int]bool  // replica indices hosted by this process (nil = all)
 	tracer      *trace.Tracer // sampled op-lifecycle tracing (nil = off, zero-cost)
+	storeFS     faultfs.FS    // durable-store filesystem seam (nil = the real disk)
 }
 
 // Option configures a Cluster at construction.
@@ -319,6 +321,13 @@ func WithSnapshotEvery(n int) Option { return func(c *config) { c.snapEvery = n 
 // WithDurability.
 func WithSnapshotChain(k int) Option { return func(c *config) { c.snapChain = k } }
 
+// WithStoreFS routes every replica's durable-store file I/O through
+// fsys — the syscall-level fault-injection seam (internal/faultfs)
+// chaos scenarios and tests use to simulate full, flaky, or lying
+// disks. The default nil uses the real filesystem. No effect without
+// WithDurability.
+func WithStoreFS(fsys faultfs.FS) Option { return func(c *config) { c.storeFS = fsys } }
+
 // WithTracer attaches a sampled op-lifecycle tracer (internal/trace):
 // every engine stage — submit, admission, journal-fsync cover, gossip
 // ack, absorb, fold, apology — reports sampled ops into t's bounded
@@ -327,6 +336,14 @@ func WithSnapshotChain(k int) Option { return func(c *config) { c.snapChain = k 
 // is a single nil check: no sampling hash, no allocation, no lock.
 func WithTracer(t *trace.Tracer) Option { return func(c *config) { c.tracer = t } }
 
+// ReasonDegraded is the Reason a degraded read-only shard attaches to
+// every declined write: the replica's disk stopped accepting writes
+// (full, or transiently failing), reads keep serving the published
+// fold snapshot, and the shard rejoins once the disk heals. A decline
+// carrying it has Retryable set — back off and resubmit rather than
+// treating the operation as refused.
+const ReasonDegraded = "shard degraded: store unwritable, read-only until the disk heals"
+
 // Result reports the outcome of one submit.
 type Result struct {
 	Accepted bool
@@ -334,6 +351,10 @@ type Result struct {
 	Latency  time.Duration
 	Op       Op
 	Reason   string // why a submit was declined
+	// Retryable marks a transient decline — the shard is degraded
+	// read-only (ReasonDegraded) and expected to heal — as opposed to a
+	// business refusal or a crash, which retrying cannot help.
+	Retryable bool
 }
 
 // Metrics aggregates cluster-wide observations.
@@ -357,6 +378,13 @@ type Metrics struct {
 	FoldSteps       stats.Counter
 	FoldRewinds     stats.Counter
 	FoldCheckpoints stats.Counter
+
+	// Degraded counts replicas entering degraded read-only mode — a
+	// recoverable disk failure (ENOSPC, EIO) that paused writes without
+	// killing the replica. Rejoins do not decrement it; it is a
+	// how-often-has-this-happened counter, not a gauge (the live gauge
+	// is ShardDegraded).
+	Degraded stats.Counter
 }
 
 // Cluster is a set of shards — independent replica groups partitioning
@@ -375,6 +403,8 @@ type Cluster[S any] struct {
 	groups     []*shardGroup[S]
 	stopGossip []func()
 	ingestWG   sync.WaitGroup // live ingest-loop goroutines, joined by Close
+	done       chan struct{}  // closed by Close; stops degraded re-probe loops
+	closeOnce  sync.Once
 
 	Apologies *apology.Queue
 	M         Metrics
@@ -403,13 +433,20 @@ func (g *shardGroup[S]) gossipRound() {
 	g.M.GossipRounds.Inc()
 	g.c.M.GossipRounds.Inc()
 	for _, rep := range g.reps {
-		if rep.remote || rep.node.Crashed() {
+		if rep.remote || rep.node.Crashed() || rep.degraded.Load() {
 			// Remote replicas push from their own process; this one only
 			// pushes *to* them (below, as somebody's ring neighbour).
+			// Degraded replicas hold phantom entries their disk never
+			// accepted — pushing those would spread guesses nobody can back.
 			continue
 		}
 		for _, peer := range rep.gossipPeers {
-			if !peer.node.Crashed() && g.c.tr.Reachable(rep.id, peer.id) {
+			if peer.node.Crashed() || peer.degraded.Load() {
+				// A degraded peer declines every push anyway (it would lose
+				// the entries on rejoin); skipping saves the wasted round.
+				continue
+			}
+			if g.c.tr.Reachable(rep.id, peer.id) {
 				rep.pushTo(peer.id)
 			}
 		}
@@ -555,6 +592,7 @@ func New[S any](app App[S], rules []Rule[S], opts ...Option) *Cluster[S] {
 		app:       app,
 		rules:     rules,
 		Apologies: apology.NewQueue(),
+		done:      make(chan struct{}),
 	}
 	for _, rule := range rules {
 		c.hasAdmit = c.hasAdmit || rule.Admit != nil
@@ -657,6 +695,7 @@ func (c *Cluster[S]) storeOptions() store.Options {
 	// them, and inline runs are not latency-sensitive anyway.
 	opt.Preallocate = !opt.Inline
 	opt.SnapshotChain = c.cfg.snapChain
+	opt.FS = c.cfg.storeFS
 	return opt
 }
 
@@ -692,6 +731,66 @@ func (c *Cluster[S]) Recover(ctx context.Context, i int) error {
 // without touching any other shard's group.
 func (c *Cluster[S]) ShardRecover(ctx context.Context, shard, i int) error {
 	return c.groups[shard].reps[i].Recover(ctx)
+}
+
+// Rejoin re-probes the degraded replica i of shard 0 and, when its disk
+// has healed, reseeds it from the store and resumes writes. See
+// Replica.Rejoin.
+func (c *Cluster[S]) Rejoin(ctx context.Context, i int) error {
+	return c.groups[0].reps[i].Rejoin(ctx)
+}
+
+// ShardRejoin re-probes degraded replica i of the given shard.
+func (c *Cluster[S]) ShardRejoin(ctx context.Context, shard, i int) error {
+	return c.groups[shard].reps[i].Rejoin(ctx)
+}
+
+// ShardDegraded reports whether any locally hosted replica of the given
+// shard is in degraded read-only mode, with per-replica detail
+// ("id: reason", "; "-joined) for health endpoints. A degraded shard
+// still serves reads from its published fold snapshots; writes decline
+// with the retryable ReasonDegraded until the disk heals.
+func (c *Cluster[S]) ShardDegraded(shard int) (detail string, degraded bool) {
+	var b strings.Builder
+	for _, r := range c.groups[shard].reps {
+		if r.remote || !r.Degraded() {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(r.id)
+		b.WriteString(": ")
+		b.WriteString(r.DegradedReason())
+		degraded = true
+	}
+	return b.String(), degraded
+}
+
+// IngestBacklog sums the ingest-ring occupancy and capacity of replica
+// i across every shard. The ratio is the cluster slice's saturation:
+// near 1.0, submits are riding backpressure and an ingress should shed
+// load instead of queueing callers invisibly. (0, 0) when no local
+// replica runs the pipelined ingest path.
+func (c *Cluster[S]) IngestBacklog(i int) (depth, capacity int) {
+	for _, g := range c.groups {
+		d, cp := g.reps[i].IngestBacklog()
+		depth += d
+		capacity += cp
+	}
+	return depth, capacity
+}
+
+// DegradedShards lists the shards with at least one locally hosted
+// replica in degraded read-only mode (empty on a healthy cluster).
+func (c *Cluster[S]) DegradedShards() []int {
+	var out []int
+	for s := range c.groups {
+		if _, deg := c.ShardDegraded(s); deg {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // DurabilityStats sums the disk-work counters of every replica's live
@@ -1054,6 +1153,7 @@ func (c *Cluster[S]) dispatchDirect(rep *Replica[S], op Op, decision policy.Deci
 		op.Lam = rep.lamport + 1
 	}
 	seen := rep.ops.Contains(op.ID)
+	degraded := rep.degraded.Load()
 	var dupEnd int
 	st := rep.store
 	if seen && st != nil {
@@ -1062,16 +1162,28 @@ func (c *Cluster[S]) dispatchDirect(rep *Replica[S], op Op, decision policy.Deci
 	rep.mu.Unlock()
 	g := rep.g
 	if seen {
+		if degraded {
+			// The original may be a phantom the degraded disk never
+			// accepted; re-accepting the retry would promise durability a
+			// read-only shard cannot hold.
+			c.M.Declined.Inc()
+			g.M.Declined.Inc()
+			done(Result{Op: op, Reason: ReasonDegraded, Retryable: true})
+			return
+		}
 		// A retry of work this replica already did: idempotent accept —
 		// but "accepted" still means "durable", and the original's
 		// journal record may be aboard a flush that has not landed yet,
 		// so the retry waits for the commit covering it too.
 		ackDup := func(ok bool) {
 			if !ok {
-				rep.failFast()
+				res := Result{Op: op, Reason: "replica crashed before the write was durable"}
+				if rep.storeFailed() {
+					res.Reason, res.Retryable = ReasonDegraded, true
+				}
 				c.M.Declined.Inc()
 				g.M.Declined.Inc()
-				done(Result{Op: op, Reason: "replica crashed before the write was durable"})
+				done(res)
 				return
 			}
 			c.M.Accepted.Inc()
@@ -1166,6 +1278,7 @@ func (c *Cluster[S]) StopGossip() {
 // that was acknowledged, and a graceful shutdown (the daemon's drain
 // path) must be able to report that instead of silently losing it.
 func (c *Cluster[S]) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
 	c.StopGossip()
 	for _, g := range c.groups {
 		for _, r := range g.reps {

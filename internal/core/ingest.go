@@ -196,6 +196,16 @@ func (q *ingestQueue) popLocked(dst []ingestItem, max int) []ingestItem {
 	return dst
 }
 
+// backlog reports occupancy and capacity right now — the load-shedding
+// signal: a ring that stays near capacity means submitters are being
+// blocked for backpressure, and an ingress should start refusing work
+// (429) before callers discover it through timeouts.
+func (q *ingestQueue) backlog() (depth, capacity int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n, len(q.buf)
+}
+
 // empty reports whether nothing is currently queued.
 func (q *ingestQueue) empty() bool {
 	q.mu.Lock()
@@ -359,6 +369,18 @@ func (r *Replica[S]) ingestSegment(items []ingestItem) {
 		}
 		return
 	}
+	if r.degraded.Load() {
+		// Read-only: decline the whole segment with the typed retryable
+		// reason. Reads keep serving; nothing is admitted, staged, or
+		// gossiped until Rejoin heals the disk.
+		r.mu.Unlock()
+		for i := range items {
+			c.M.Declined.Inc()
+			g.M.Declined.Inc()
+			items[i].finish(Result{Op: items[i].op, Reason: ReasonDegraded, Retryable: true})
+		}
+		return
+	}
 	if r.store != nil {
 		// The commit fan-out runs on the store's flusher after this call
 		// returns, but the caller (the ingest loop) reuses its batch buffer
@@ -468,16 +490,19 @@ func (r *Replica[S]) ingestSegment(items []ingestItem) {
 	finish := func(ok bool) {
 		if !ok {
 			// The batch never became durable: the replica crashed (or its
-			// disk broke the durability contract) first. Fail fast; nothing
-			// was recorded, nothing may be acknowledged.
-			r.failFast()
+			// disk broke the durability contract) first. Crash or degrade;
+			// nothing was recorded, nothing may be acknowledged.
+			reason, retry := "replica crashed before the write was durable", false
+			if r.storeFailed() {
+				reason, retry = ReasonDegraded, true
+			}
 			for i := range items {
 				if outcomes[i] == outDeclined {
 					continue
 				}
 				c.M.Declined.Inc()
 				g.M.Declined.Inc()
-				items[i].finish(Result{Op: items[i].op, Reason: "replica crashed before the write was durable"})
+				items[i].finish(Result{Op: items[i].op, Reason: reason, Retryable: retry})
 			}
 			return
 		}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/apology"
 	"repro/internal/oplog"
@@ -66,6 +69,17 @@ type Replica[S any] struct {
 	// sinceSnap counts journaled entries toward the next durable snapshot.
 	store     *store.Store
 	sinceSnap int
+
+	// Degraded read-only mode: set when the store failed with a
+	// recoverable disk error (ENOSPC, EIO — see recoverableDiskErr).
+	// While degraded the replica keeps serving reads from the published
+	// fold snapshot, declines every write with the retryable
+	// ReasonDegraded, and pauses gossip in both directions — phantom
+	// guesses its disk never accepted must not spread, and a push it
+	// acknowledged would be lost on rejoin. Rejoin re-probes the store
+	// and clears the flag. degradedErr (under mu) records the failure.
+	degraded    atomic.Bool
+	degradedErr error
 
 	// The fold checkpoint: state is the fold of every entry at or before
 	// stateMark (stateN of them); stateDirty records that entries beyond
@@ -572,6 +586,16 @@ func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string, then func(a
 		}
 		return
 	}
+	if r.degraded.Load() {
+		// A degraded replica must not admit entries its disk cannot back —
+		// and must not acknowledge a gossip push it would lose on rejoin.
+		// ok=false keeps the peer's journal in place, exactly like a crash.
+		r.mu.Unlock()
+		if then != nil {
+			then(0, false)
+		}
+		return
+	}
 	added, end := r.absorbLocked(entries, from)
 	snap := r.maybeSnapshotLocked()
 	st := r.store
@@ -602,10 +626,10 @@ func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string, then func(a
 			}
 		} else {
 			// The entries were admitted to RAM but will never be durable:
-			// a replica that kept serving them would gossip guesses its
-			// own disk cannot back. Fail fast (§2.2) — the crash wipes the
-			// phantom entries along with everything else.
-			r.failFast()
+			// a replica that kept serving them as accepted would gossip
+			// guesses its own disk cannot back. Crash (§2.2) or degrade —
+			// either way gossip pauses and nothing is acknowledged.
+			r.storeFailed()
 		}
 		if then != nil {
 			then(len(added), ok)
@@ -618,26 +642,180 @@ func (r *Replica[S]) absorb(entries []oplog.Entry, how, from string, then func(a
 	st.Commit(end, finish)
 }
 
-// failFast hard-crashes the replica after its store reported a commit
-// failure while the process is still alive — a sticky disk error, not
-// an explicit Kill (Kill detaches the store first, making this a
-// no-op). A durable replica that cannot persist must stop answering
-// rather than keep in-memory entries no flush will ever cover. On the
-// live transport the crash is taken on a fresh goroutine: the failure
-// callback runs on the store's own flusher, which Kill would otherwise
-// deadlock waiting for.
-func (r *Replica[S]) failFast() {
+// storeFailed reacts to the store reporting a commit failure while the
+// process is still alive — a sticky disk error, not an explicit Kill
+// (Kill detaches the store first, making this a no-op). The §2.2
+// discipline used to be unconditional: crash, wiping every in-memory
+// entry no flush will ever cover. That is still the response to
+// failures retrying cannot fix (corruption, unknown errors) — but a
+// full or transiently failing disk heals when space frees or the
+// device settles, and killing the replica turns an operational hiccup
+// into an outage. Those failures enter degraded read-only mode instead;
+// the return value reports which path was taken so callers can attach
+// the retryable ReasonDegraded to their declines.
+//
+// On the live transport both paths hop to a fresh goroutine: the
+// failure callback runs on the store's own flusher, which Crash would
+// otherwise deadlock waiting for.
+func (r *Replica[S]) storeFailed() (degraded bool) {
 	r.mu.Lock()
 	st := r.store
 	r.mu.Unlock()
 	if st == nil {
-		return
+		// Already killed or already degraded; report which.
+		return r.degraded.Load()
+	}
+	if !recoverableDiskErr(st.FailErr()) {
+		if st.InlineMode() {
+			r.Kill()
+		} else {
+			go r.Kill()
+		}
+		return false
 	}
 	if st.InlineMode() {
-		r.Kill()
+		r.degrade(st)
+	} else {
+		go r.degrade(st)
+	}
+	return true
+}
+
+// recoverableDiskErr classifies a store failure: true for conditions
+// that heal on their own (a full disk drains, a flaky device settles),
+// false for anything a reopen-and-retry cannot fix. Unknown errors stay
+// fatal on purpose — the old unconditional fail-fast is the safe
+// default for damage this code has never seen.
+func recoverableDiskErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, errno := range []syscall.Errno{syscall.ENOSPC, syscall.EDQUOT, syscall.EIO, syscall.EAGAIN, syscall.EINTR} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// degrade moves the replica into degraded read-only mode: the failed
+// store is detached and crashed (dropping its staged tail), the
+// in-memory world keeps serving reads — including entries the disk
+// never accepted, whose submitters were declined with a retryable
+// reason — and every write path refuses with ReasonDegraded until
+// Rejoin reopens the store. On the live transport a re-probe loop
+// retries Rejoin with backoff, so a disk-full shard heals itself once
+// space frees; the simulator rejoins explicitly to stay deterministic.
+func (r *Replica[S]) degrade(st *store.Store) {
+	err := st.FailErr()
+	r.mu.Lock()
+	if r.store != st {
+		// Lost a race with Kill (or another failure path); whoever won
+		// owns the store's shutdown.
+		r.mu.Unlock()
 		return
 	}
-	go r.Kill()
+	r.store = nil
+	r.sinceSnap = 0
+	r.degradedErr = err
+	r.degraded.Store(true)
+	live := !st.InlineMode()
+	r.mu.Unlock()
+	st.Crash()
+	r.c.M.Degraded.Inc()
+	r.g.M.Degraded.Inc()
+	r.Ledger.Record(r.c.tr.Now(), apology.Memory, r.id,
+		fmt.Sprintf("entered degraded read-only mode: %v", err), "")
+	if live {
+		go r.reprobeLoop()
+	}
+}
+
+// reprobeLoop retries Rejoin with capped exponential backoff until the
+// replica heals, is killed, or the cluster closes. Live transports
+// only; the deterministic simulator rejoins explicitly.
+func (r *Replica[S]) reprobeLoop() {
+	backoff := 100 * time.Millisecond
+	for r.degraded.Load() {
+		select {
+		case <-r.c.done:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+		if err := r.Rejoin(context.Background()); err == nil {
+			return
+		}
+	}
+}
+
+// Degraded reports whether the replica is in degraded read-only mode:
+// its disk stopped accepting writes, reads still serve the published
+// fold snapshot, and writes decline with ReasonDegraded until Rejoin
+// succeeds.
+func (r *Replica[S]) Degraded() bool { return r.degraded.Load() }
+
+// IngestBacklog reports the replica's ingest-ring occupancy and
+// capacity ((0, 0) for remote replicas and replicas without the
+// pipelined ingest path). A ring pinned at capacity means submitters
+// are blocking on backpressure — the ingress-side load-shedding signal.
+func (r *Replica[S]) IngestBacklog() (depth, capacity int) {
+	if r.remote || r.ingest == nil {
+		return 0, 0
+	}
+	return r.ingest.backlog()
+}
+
+// DegradedReason returns the store failure that degraded the replica,
+// or "" when it is healthy.
+func (r *Replica[S]) DegradedReason() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.degradedErr == nil {
+		return ""
+	}
+	return r.degradedErr.Error()
+}
+
+// Rejoin re-probes a degraded replica's durable store and, when the
+// disk has healed, rebuilds the in-memory world from it — discarding
+// the phantom entries the degraded incarnation kept serving reads from
+// (their submitters were declined; gossip re-fills anything peers hold)
+// — then resumes writes and gossip. It fails, leaving the replica
+// degraded, while the store still cannot be reopened.
+func (r *Replica[S]) Rejoin(ctx context.Context) error {
+	if r.remote {
+		return fmt.Errorf("quicksand: replica %s is hosted by another process; rejoin it there", r.id)
+	}
+	if !r.degraded.Load() {
+		return fmt.Errorf("quicksand: replica %s is not degraded", r.id)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st, rec, err := store.Open(r.c.storeDir(r.id), r.c.storeOptions())
+	if err != nil {
+		return fmt.Errorf("quicksand: rejoin %s: %w", r.id, err)
+	}
+	r.mu.Lock()
+	if r.store != nil || !r.degraded.Load() {
+		// Lost a race with a concurrent Rejoin or a Kill; this handle is
+		// surplus and the winner's state must not be clobbered.
+		r.mu.Unlock()
+		st.Close()
+		return fmt.Errorf("quicksand: replica %s already rejoined (or was killed)", r.id)
+	}
+	r.wipeLocked()
+	r.seedFromDisk(st, rec)
+	r.degradedErr = nil
+	r.degraded.Store(false)
+	n := r.ops.Len()
+	r.mu.Unlock()
+	r.Ledger.Record(r.c.tr.Now(), apology.Memory, r.id,
+		fmt.Sprintf("rejoined after degraded mode with %d ops from disk", n), "")
+	return nil
 }
 
 // sweepViolations evaluates every rule's Violated check against the
@@ -675,6 +853,13 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 	if r.node.Crashed() {
 		r.mu.Unlock()
 		emit(Result{Op: op, Reason: "replica down"})
+		return
+	}
+	if r.degraded.Load() {
+		// Read-only: the disk cannot back a new guess. Decline with the
+		// typed retryable reason so callers back off instead of giving up.
+		r.mu.Unlock()
+		emit(Result{Op: op, Reason: ReasonDegraded, Retryable: true})
 		return
 	}
 	if r.c.hasAdmit {
@@ -718,8 +903,11 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 		// first recording is durable.
 		ack := func(ok bool) {
 			if !ok {
-				r.failFast()
-				emit(Result{Op: op, Reason: "replica crashed before the write was durable"})
+				res := Result{Op: op, Reason: "replica crashed before the write was durable"}
+				if r.storeFailed() {
+					res.Reason, res.Retryable = ReasonDegraded, true
+				}
+				emit(res)
 				return
 			}
 			emit(Result{Accepted: true, Op: op, Decision: policy.Async})
@@ -735,10 +923,13 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 		if !ok {
 			// The replica crashed — or its disk stopped honouring the
 			// durability contract — before the write landed: the guess
-			// dies with the replica (failFast), and the caller must not
-			// be told otherwise.
-			r.failFast()
-			emit(Result{Op: op, Reason: "replica crashed before the write was durable"})
+			// dies with the replica (or with the degraded incarnation's
+			// phantoms), and the caller must not be told otherwise.
+			res := Result{Op: op, Reason: "replica crashed before the write was durable"}
+			if r.storeFailed() {
+				res.Reason, res.Retryable = ReasonDegraded, true
+			}
+			emit(res)
 			return
 		}
 		now := r.c.tr.Now()
@@ -762,6 +953,13 @@ func (r *Replica[S]) submitLocal(op oplog.Entry, emit func(Result)) {
 // reachable and willing — agree. Any silence or refusal declines the
 // operation; being conservative is the point of paying for coordination.
 func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
+	if r.degraded.Load() {
+		// The coordinator itself must durably apply the op after the
+		// round; a degraded one cannot, so decline before paying for
+		// the broadcast.
+		done(Result{Op: op, Reason: ReasonDegraded, Retryable: true, Decision: policy.Sync})
+		return
+	}
 	// Local admission first.
 	if r.c.hasAdmit {
 		state := r.State()
@@ -793,7 +991,11 @@ func (r *Replica[S]) submitSync(op oplog.Entry, done func(Result)) {
 		// then everywhere else, then ack.
 		r.absorb([]oplog.Entry{op}, "sync", "", func(_ int, ok bool) {
 			if !ok {
-				done(Result{Op: op, Reason: "replica crashed before the write was durable", Decision: policy.Sync})
+				res := Result{Op: op, Reason: "replica crashed before the write was durable", Decision: policy.Sync}
+				if r.degraded.Load() {
+					res.Reason, res.Retryable = ReasonDegraded, true
+				}
+				done(res)
 				return
 			}
 			r.node.Broadcast(peers, "apply", applyReq{Op: op}, func([]any, int) {
@@ -927,6 +1129,27 @@ func (r *Replica[S]) Kill() {
 	r.mu.Lock()
 	st := r.store
 	r.store = nil
+	r.wipeLocked()
+	// A killed replica is down, not degraded: Recover (not Rejoin) is
+	// the way back, and the re-probe loop, if any, must stop.
+	r.degradedErr = nil
+	r.degraded.Store(false)
+	// Lock-free readers must not keep serving the dead incarnation's
+	// snapshot: bump the version and publish the wiped state.
+	r.version.Add(1)
+	r.publishLocked()
+	r.mu.Unlock()
+	r.Ledger.Reset()
+	if st != nil {
+		st.Crash()
+	}
+}
+
+// wipeLocked destroys every bit of in-memory state, as a process death
+// would — shared by Kill and by Rejoin (which discards the degraded
+// incarnation's phantoms before reseeding from disk). The caller holds
+// mu and owns store shutdown, publication, and ledger cleanup.
+func (r *Replica[S]) wipeLocked() {
 	r.sinceSnap = 0
 	r.ops = oplog.NewSet()
 	r.journal = oplog.Journal{}
@@ -939,15 +1162,6 @@ func (r *Replica[S]) Kill() {
 	r.stateShared = false
 	r.stateDirty = false
 	r.snaps = nil
-	// Lock-free readers must not keep serving the dead incarnation's
-	// snapshot: bump the version and publish the wiped state.
-	r.version.Add(1)
-	r.publishLocked()
-	r.mu.Unlock()
-	r.Ledger.Reset()
-	if st != nil {
-		st.Crash()
-	}
 }
 
 // Recover restarts a killed durable replica from disk alone: reopen the

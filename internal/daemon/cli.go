@@ -31,6 +31,8 @@ func ParseServeFlags(args []string) (Config, error) {
 		batch      = fs.Int("ingest-batch", 0, "max ops per ingest batch (0 = engine default)")
 		traceN     = fs.Int("trace-sample", 0, "trace 1-in-N op lifecycles (0 = default 64, negative = off)")
 		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this private address (empty = off)")
+		shed       = fs.Float64("shed-backlog", 0, "ingest-ring occupancy fraction above which submits get 429 (0 = default 0.9)")
+		minFree    = fs.String("min-free-disk", "", "free-space floor on the data dir for doctor, e.g. 256M (empty = default 256M)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
@@ -96,6 +98,16 @@ func ParseServeFlags(args []string) (Config, error) {
 	}
 	if set["debug-addr"] {
 		cfg.DebugAddr = *debugAddr
+	}
+	if set["shed-backlog"] {
+		cfg.ShedBacklog = *shed
+	}
+	if set["min-free-disk"] {
+		v, err := parseSize(*minFree)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.MinFreeDisk = v
 	}
 	return cfg, nil
 }

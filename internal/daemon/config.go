@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // Config is everything a quicksandd process needs to join a cluster.
@@ -47,6 +49,16 @@ type Config struct {
 	// SnapshotEvery sets journaled entries between durable snapshots
 	// (0 = engine default).
 	SnapshotEvery int
+	// ShedBacklog is the ingest-ring occupancy fraction above which the
+	// HTTP edge sheds submits with 429 + Retry-After instead of queueing
+	// callers on backpressure (default 0.9; >= that fraction of ring
+	// capacity occupied means overloaded).
+	ShedBacklog float64
+	// MinFreeDisk is the free-space floor (bytes) the doctor requires on
+	// the data dir's filesystem (default 256 MiB). A disk below it will
+	// degrade the daemon to read-only soon after start; better to fail
+	// preflight. The config key accepts size suffixes: min_free_disk: 1GB.
+	MinFreeDisk int64
 	// TraceSample is the op-lifecycle tracing rate: trace 1-in-N ops
 	// (plus every apology). 0 takes the default of 64, 1 traces every
 	// op, and a negative value disables tracing entirely — the engine
@@ -58,6 +70,12 @@ type Config struct {
 	DebugAddr string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
+
+	// storeFS, when set, routes every durable-store file operation
+	// through this filesystem — the fault-injection seam the daemon's
+	// own tests use to fill a disk on command. Not reachable from
+	// configs; production daemons always run on the real filesystem.
+	storeFS faultfs.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +100,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceSample == 0 {
 		c.TraceSample = 64
 	}
+	if c.ShedBacklog == 0 {
+		c.ShedBacklog = 0.9
+	}
+	if c.MinFreeDisk == 0 {
+		c.MinFreeDisk = 256 << 20
+	}
 	return c
 }
 
@@ -92,6 +116,9 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 1 {
 		return fmt.Errorf("daemon: shards must be >= 1, got %d", c.Shards)
+	}
+	if c.ShedBacklog <= 0 || c.ShedBacklog > 1 {
+		return fmt.Errorf("daemon: shed_backlog must be in (0, 1], got %v", c.ShedBacklog)
 	}
 	for i := range c.Replicas {
 		if i == c.Node {
@@ -180,6 +207,10 @@ func ParseConfig(text string) (Config, error) {
 			cfg.IngestBatch, err = strconv.Atoi(val)
 		case "snapshot_every":
 			cfg.SnapshotEvery, err = strconv.Atoi(val)
+		case "shed_backlog":
+			cfg.ShedBacklog, err = strconv.ParseFloat(val, 64)
+		case "min_free_disk":
+			cfg.MinFreeDisk, err = parseSize(val)
 		case "trace_sample":
 			cfg.TraceSample, err = strconv.Atoi(val)
 		case "debug_addr":
@@ -192,6 +223,33 @@ func ParseConfig(text string) (Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// parseSize parses a byte size: a plain integer, or one with a binary
+// suffix K/M/G/T (an optional trailing "B" and any case are tolerated,
+// so "256MB", "1g", and "1048576" all work).
+func parseSize(val string) (int64, error) {
+	s := strings.TrimSpace(strings.ToUpper(val))
+	s = strings.TrimSuffix(s, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(s, "K"):
+		shift, s = 10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		shift, s = 20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		shift, s = 30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "T"):
+		shift, s = 40, strings.TrimSuffix(s, "T")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("size %q: %v", val, err)
+	}
+	if n < 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("size %q out of range", val)
+	}
+	return n << shift, nil
 }
 
 // parsePeers parses "0=host:port,1=host:port".

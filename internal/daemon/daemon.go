@@ -79,6 +79,9 @@ func New(cfg Config) (*Daemon, error) {
 		if cfg.SnapshotEvery > 0 {
 			opts = append(opts, core.WithSnapshotEvery(cfg.SnapshotEvery))
 		}
+		if cfg.storeFS != nil {
+			opts = append(opts, core.WithStoreFS(cfg.storeFS))
+		}
 	}
 	if cfg.IngestBatch > 0 {
 		opts = append(opts, core.WithIngestBatch(cfg.IngestBatch))
@@ -167,6 +170,10 @@ func (d *Daemon) PeerAddr() string { return d.tr.Addr() }
 
 // Cluster exposes the hosted cluster slice (tests and the -net bench).
 func (d *Daemon) Cluster() *core.Cluster[Accounts] { return d.cluster }
+
+// PeerTransport exposes the replica-traffic transport — chaos tooling
+// reaches through it to inject frame faults on this daemon's links.
+func (d *Daemon) PeerTransport() *netx.Transport { return d.tr }
 
 // Close shuts the daemon down in drain order: stop accepting HTTP work,
 // stop scheduling gossip, then close the cluster — which drains the

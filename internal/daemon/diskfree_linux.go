@@ -1,0 +1,17 @@
+//go:build linux
+
+package daemon
+
+import "syscall"
+
+// diskFree reports the bytes available to this process (Bavail, not
+// Bfree: root-reserved blocks don't save a journal) and the filesystem
+// size under dir.
+func diskFree(dir string) (free, total uint64, err error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, 0, err
+	}
+	bs := uint64(st.Bsize)
+	return st.Bavail * bs, st.Blocks * bs, nil
+}

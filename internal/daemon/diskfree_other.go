@@ -1,0 +1,11 @@
+//go:build !linux
+
+package daemon
+
+import "fmt"
+
+// diskFree is unsupported off Linux; the doctor reports the probe as
+// advisory rather than failing preflight on a capability gap.
+func diskFree(dir string) (free, total uint64, err error) {
+	return 0, 0, fmt.Errorf("free-space probe not supported on this platform")
+}

@@ -40,7 +40,8 @@ func Doctor(cfg Config) []Check {
 	if cfg.DataDir == "" {
 		out = append(out, Check{Name: "data-dir", OK: true, Detail: "no data_dir configured: running memory-only (no durability)"})
 	} else {
-		out = append(out, checkDataDir(cfg.DataDir), checkFsync(cfg.DataDir))
+		out = append(out, checkDataDir(cfg.DataDir), checkFsync(cfg.DataDir),
+			checkFreeDisk(cfg.DataDir, cfg.MinFreeDisk))
 	}
 
 	out = append(out, checkBind("http-port", cfg.HTTPListen))
@@ -124,6 +125,42 @@ func checkFsync(dir string) Check {
 		return Check{Name: "fsync", Detail: fmt.Sprintf("fsync failed on %s: %v (durability would be a lie here)", dir, err)}
 	}
 	return Check{Name: "fsync", OK: true, Detail: fmt.Sprintf("fsync on %s took %v", dir, time.Since(start).Round(time.Microsecond))}
+}
+
+// checkFreeDisk verifies the data dir's filesystem has at least min
+// bytes available. Starting a daemon on a nearly full disk just defers
+// the ENOSPC to the first busy minute — the shard then degrades to
+// read-only (by design), but preflight is the cheaper place to hear
+// about it. The threshold is Config.MinFreeDisk (min_free_disk).
+func checkFreeDisk(dir string, min int64) Check {
+	const name = "free-disk"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Check{Name: name, Detail: fmt.Sprintf("cannot create %s: %v", dir, err)}
+	}
+	free, total, err := diskFree(dir)
+	if err != nil {
+		return Check{Name: name, Advisory: true, Detail: fmt.Sprintf("probe failed on %s: %v", dir, err)}
+	}
+	detail := fmt.Sprintf("%s free of %s on %s (floor %s)",
+		fmtBytes(int64(free)), fmtBytes(int64(total)), dir, fmtBytes(min))
+	if free < uint64(min) {
+		return Check{Name: name, Detail: detail + " — journals will hit ENOSPC and degrade the shard to read-only; free space or lower min_free_disk"}
+	}
+	return Check{Name: name, OK: true, Detail: detail}
+}
+
+// fmtBytes renders a byte count with a binary suffix, one decimal.
+func fmtBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }
 
 // checkBind verifies the address can be bound right now (then releases

@@ -3,8 +3,11 @@ package daemon
 import (
 	"crypto/subtle"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/client"
 	"repro/internal/apology"
@@ -16,6 +19,14 @@ import (
 // maxBody bounds request bodies; a batch of a few thousand ops fits in
 // well under this.
 const maxBody = 8 << 20
+
+// Retry-After hints for shed load. Overload clears as fast as the ring
+// drains (milliseconds to a second); a degraded disk heals on the
+// replica's re-probe cadence (capped at 2s), so its hint is longer.
+const (
+	retryAfterOverload = 1 * time.Second
+	retryAfterDegraded = 2 * time.Second
+)
 
 func (d *Daemon) routes() http.Handler {
 	mux := http.NewServeMux()
@@ -57,6 +68,36 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, client.ErrorEnvelope{Error: client.Error{Code: code, Message: msg}})
 }
 
+// writeRetryError is writeError plus a Retry-After hint — the shape of
+// every load-shedding response (429 overloaded, 503 degraded), telling
+// well-behaved clients when to come back instead of letting them hammer.
+func writeRetryError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	writeError(w, status, code, msg)
+}
+
+// shedding reports whether the ingest ring is saturated past the
+// configured threshold. Refusing new work at the HTTP edge with a 429
+// keeps the (bounded, backpressuring) ring from silently turning every
+// caller into a blocked goroutine: fail the request fast and let the
+// client's jittered backoff spread the load out.
+func (d *Daemon) shedding() bool {
+	depth, capacity := d.cluster.IngestBacklog(d.cfg.Node)
+	return capacity > 0 && float64(depth) >= d.cfg.ShedBacklog*float64(capacity)
+}
+
+// degradedDecline reports whether every result is a retryable decline —
+// the whole request bounced off degraded shards, which surfaces as a 503
+// so clients honor Retry-After instead of treating it as business truth.
+func degradedDecline(results []core.Result) bool {
+	for _, res := range results {
+		if res.Accepted || !res.Retryable {
+			return false
+		}
+	}
+	return len(results) > 0
+}
+
 // decodeBody parses a JSON body into v, rejecting unknown fields so a
 // typo'd request fails loudly instead of silently taking defaults.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -85,6 +126,7 @@ func toResult(res core.Result) client.Result {
 	return client.Result{
 		Accepted:  res.Accepted,
 		Reason:    res.Reason,
+		Retryable: res.Retryable,
 		Sync:      res.Decision == policy.Sync,
 		ID:        string(res.Op.ID),
 		Lamport:   res.Op.Lam,
@@ -115,9 +157,18 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !validOp(w, req.Op) {
 		return
 	}
+	if d.shedding() {
+		writeRetryError(w, http.StatusTooManyRequests, "overloaded",
+			"ingest ring saturated; back off and retry", retryAfterOverload)
+		return
+	}
 	res, err := d.cluster.Submit(r.Context(), d.cfg.Node, toOp(req.Op), submitOptions(req.Sync)...)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		return
+	}
+	if !res.Accepted && res.Retryable {
+		writeRetryError(w, http.StatusServiceUnavailable, "degraded", res.Reason, retryAfterDegraded)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResult(res))
@@ -139,9 +190,22 @@ func (d *Daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = toOp(op)
 	}
+	if d.shedding() {
+		writeRetryError(w, http.StatusTooManyRequests, "overloaded",
+			"ingest ring saturated; back off and retry", retryAfterOverload)
+		return
+	}
 	results, err := d.cluster.SubmitBatch(r.Context(), d.cfg.Node, ops, submitOptions(req.Sync)...)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		return
+	}
+	if degradedDecline(results) {
+		// Every op bounced off a degraded shard: shed the whole batch as
+		// a 503. A mixed batch still answers 200 — partial acceptance is
+		// business outcome, not server failure, and each result carries
+		// its own Retryable flag.
+		writeRetryError(w, http.StatusServiceUnavailable, "degraded", results[0].Reason, retryAfterDegraded)
 		return
 	}
 	out := client.BatchResponse{Results: make([]client.Result, len(results))}
@@ -201,11 +265,17 @@ func (d *Daemon) handleGossip(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var degraded []string
+	for _, s := range d.cluster.DegradedShards() {
+		detail, _ := d.cluster.ShardDegraded(s)
+		degraded = append(degraded, fmt.Sprintf("shard %d: %s", s, detail))
+	}
 	writeJSON(w, http.StatusOK, client.Health{
-		OK:       true,
+		OK:       len(degraded) == 0,
 		Node:     d.cfg.Node,
 		Shards:   d.cluster.Shards(),
 		Replicas: d.cluster.Replicas(),
 		PeerAddr: d.PeerAddr(),
+		Degraded: degraded,
 	})
 }

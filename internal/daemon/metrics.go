@@ -57,6 +57,22 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	perShard("quicksand_shard_fold_rewinds_total", "Checkpoint rewinds, by shard.",
 		func(m *core.Metrics) int64 { return m.FoldRewinds.Value() })
 
+	// Fault posture: which shards are read-only right now, how many
+	// degradation events ever, and how loaded the ingest ring is (the
+	// 429 load-shedding signal).
+	p.counter("quicksand_degraded_total", "Times a replica entered degraded read-only mode (recoverable disk failure).", m.Degraded.Value())
+	p.family("quicksand_shard_degraded", "gauge", "1 while any local replica of the shard is degraded (read-only, disk unwritable).")
+	for s := 0; s < shards; s++ {
+		v := 0.0
+		if _, deg := d.cluster.ShardDegraded(s); deg {
+			v = 1
+		}
+		p.sample("quicksand_shard_degraded", shardLabel(s), v)
+	}
+	depth, capacity := d.cluster.IngestBacklog(d.cfg.Node)
+	p.gauge("quicksand_ingest_backlog", "Occupied ingest-ring slots across local shards.", float64(depth))
+	p.gauge("quicksand_ingest_capacity", "Total ingest-ring capacity across local shards.", float64(capacity))
+
 	// Legacy p50/p99 summaries, kept for dashboards scripted against the
 	// pre-histogram surface.
 	p.summary("quicksand_async_submit_seconds", "Latency of async (guess) submits.", &m.AsyncLat)
@@ -141,6 +157,11 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ps := range peers {
 		p.sample("quicksand_peer_reconnects_total", peerLabel(ps.Addr), float64(ps.Reconnects))
 	}
+	p.family("quicksand_peer_frames_mangled_total", "counter", "Outbound frames the fault injector dropped, duplicated, reordered, or bit-flipped (0 unless faults are enabled).")
+	for _, ps := range peers {
+		p.sample("quicksand_peer_frames_mangled_total", peerLabel(ps.Addr), float64(ps.FramesMangled))
+	}
+	p.counter("quicksand_corrupt_frames_total", "Inbound frames rejected by the checksum; each one also closed its connection.", d.tr.CorruptFrames())
 
 	q := d.cluster.Apologies
 	p.counter("quicksand_apologies_total", "Business-rule violations discovered (deduplicated).", int64(q.Total()))

@@ -172,6 +172,11 @@ type Report struct {
 	Apologies    int64   // target apology-queue total after the run
 	ApologyRate  float64 // apologies / accepted
 	SyncDeclined int64   // declines of coordinated submits (bounded-surplus allowance in invariants)
+	// RetryableDeclined counts transient declines (degraded shard). A
+	// retryable decline may cover work that was absorbed and replicated
+	// before its durability failed — declined-but-recorded, the second
+	// bounded-surplus allowance.
+	RetryableDeclined int64
 
 	Workers int // effective worker count the run used
 	Batch   int // effective ops per request (>=1)
@@ -179,11 +184,12 @@ type Report struct {
 
 // counters is the driver's shared, atomically updated tally.
 type counters struct {
-	offered      atomic.Int64
-	accepted     atomic.Int64
-	declined     atomic.Int64
-	errors       atomic.Int64
-	syncDeclined atomic.Int64
+	offered           atomic.Int64
+	accepted          atomic.Int64
+	declined          atomic.Int64
+	errors            atomic.Int64
+	syncDeclined      atomic.Int64
+	retryableDeclined atomic.Int64
 }
 
 // Run drives tgt with the spec until the duration elapses or ctx is
@@ -259,19 +265,20 @@ func Run(ctx context.Context, tgt Target, spec Spec) (*Report, error) {
 
 	elapsed := time.Since(start)
 	rep := &Report{
-		Offered:      cts.offered.Load(),
-		Accepted:     cts.accepted.Load(),
-		Declined:     cts.declined.Load(),
-		Errors:       cts.errors.Load(),
-		SyncDeclined: cts.syncDeclined.Load(),
-		Elapsed:      elapsed,
-		OpsPerSec:    float64(cts.accepted.Load()) / elapsed.Seconds(),
-		P50Ns:        hist.Quantile(0.50),
-		P99Ns:        hist.Quantile(0.99),
-		P999Ns:       hist.Quantile(0.999),
-		Apologies:    int64(tgt.Apologies()),
-		Workers:      spec.Workers,
-		Batch:        max(spec.Batch, 1),
+		Offered:           cts.offered.Load(),
+		Accepted:          cts.accepted.Load(),
+		Declined:          cts.declined.Load(),
+		Errors:            cts.errors.Load(),
+		SyncDeclined:      cts.syncDeclined.Load(),
+		RetryableDeclined: cts.retryableDeclined.Load(),
+		Elapsed:           elapsed,
+		OpsPerSec:         float64(cts.accepted.Load()) / elapsed.Seconds(),
+		P50Ns:             hist.Quantile(0.50),
+		P99Ns:             hist.Quantile(0.99),
+		P999Ns:            hist.Quantile(0.999),
+		Apologies:         int64(tgt.Apologies()),
+		Workers:           spec.Workers,
+		Batch:             max(spec.Batch, 1),
 	}
 	if rep.Offered > 0 {
 		rep.DeclineRate = float64(rep.Declined) / float64(rep.Offered)
@@ -321,6 +328,9 @@ func tally(op Op, out Outcome, err error, cts *counters) {
 		cts.declined.Add(1)
 		if op.Sync {
 			cts.syncDeclined.Add(1)
+		}
+		if out.Retryable {
+			cts.retryableDeclined.Add(1)
 		}
 	}
 }

@@ -44,6 +44,14 @@ type Config struct {
 	FsyncDelay  time.Duration // slow-disk injection (durable stacks)
 	Seed        int64
 	Out         io.Writer // per-second progress stream (nil = silent)
+
+	// extraOpts and state are populated by a scenario's prepare hook, once
+	// per run: extraOpts joins the engine options when an in-process
+	// cluster target is built, and state carries the matching per-run
+	// handle (the flag that arms an injected fault) into the scenario's
+	// run function. Never shared across runs.
+	extraOpts []core.Option
+	state     any
 }
 
 func (c Config) withDefaults(s *Scenario) Config {
@@ -81,6 +89,11 @@ type Scenario struct {
 	FsyncDelay time.Duration
 	// NeedsDurability rejects volatile stacks (kill/recover, slow disk).
 	NeedsDurability bool
+	// prepare, when set, runs once per Run — after defaults, before the
+	// target is built — so a scenario can thread per-run fault machinery
+	// (an injected filesystem plus the flag that arms it) into the
+	// cluster options and hand its run function the other end.
+	prepare func(c *Config)
 	// run drives the experiment against a built target and returns the
 	// driver report plus the scenario's invariant checks.
 	run func(ctx context.Context, cfg Config, tgt loadgen.ChaosTarget) (*loadgen.Report, []loadgen.Check, error)
@@ -148,6 +161,9 @@ func (s *Scenario) Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(s)
 	if s.NeedsDurability && cfg.Stack != StackDurable {
 		return nil, fmt.Errorf("scenario: %s needs a durable stack (got %q)", s.Name, cfg.Stack)
+	}
+	if s.prepare != nil {
+		s.prepare(&cfg)
 	}
 	cleanupDir := ""
 	if (cfg.Stack == StackDurable || s.NeedsDurability) && cfg.DataDir == "" {
@@ -219,6 +235,7 @@ func buildTarget(cfg Config) (loadgen.ChaosTarget, error) {
 				opts = append(opts, core.WithFsyncDelay(cfg.FsyncDelay))
 			}
 		}
+		opts = append(opts, cfg.extraOpts...)
 		return loadgen.NewAccountsCluster(opts...), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown stack %q", cfg.Stack)

@@ -4,11 +4,17 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/loadgen"
+	"repro/internal/netx"
 	"repro/internal/workload"
 )
 
@@ -272,6 +278,191 @@ var RollingChurn = register(&Scenario{
 		checks := []loadgen.Check{
 			converge(ctx, tgt, cfg.Duration),
 			checkNoLostOps(rep, tgt, 0, kills.Load()*inFlightPerKill),
+			checkApologiesAttributed(tgt),
+		}
+		return rep, checks, nil
+	},
+})
+
+// DiskFull: one replica's disk fills mid-run and empties again. The old
+// engine treated any store failure as fatal; the invariant here is the
+// graceful-degradation contract — the replica drops to read-only and
+// declines with the typed retryable reason (never a crash, never a
+// hang), heals itself once space returns, and after convergence not one
+// accepted op is missing anywhere.
+var DiskFull = register(&Scenario{
+	Name:            "disk-full",
+	Desc:            "one replica's disk fills mid-run: degrade read-only, shed retryably, self-heal, lose nothing",
+	Stack:           StackDurable,
+	Keys:            256,
+	NeedsDurability: true,
+	prepare: func(c *Config) {
+		full := new(atomic.Bool)
+		c.state = full
+		c.extraOpts = []core.Option{core.WithStoreFS(enospcFS("r1", full))}
+	},
+	run: func(ctx context.Context, cfg Config, tgt loadgen.ChaosTarget) (*loadgen.Report, []loadgen.Check, error) {
+		full := cfg.state.(*atomic.Bool)
+		ct, ok := tgt.(*loadgen.ClusterTarget)
+		if !ok {
+			return nil, nil, fmt.Errorf("disk-full runs on the in-process durable stack")
+		}
+		anyDegraded := func() bool { return len(ct.C.DegradedShards()) > 0 }
+
+		// Middle third of the window: r1's disk is full. The probe submit
+		// below pins the shape of the decline while it is.
+		third := cfg.Duration / 3
+		var probe loadgen.Outcome
+		var probed, sawDegraded atomic.Bool
+		faultCtx, stopFault := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer full.Store(false)
+			if !sleepCtx(faultCtx, third) {
+				return
+			}
+			full.Store(true)
+			tgt.Annotate("disk-full: r1's disk is out of space")
+			for elapsed := time.Duration(0); elapsed < third; elapsed += 5 * time.Millisecond {
+				if anyDegraded() {
+					sawDegraded.Store(true)
+					if !probed.Load() {
+						if out, err := tgt.Submit(ctx, 1, loadgen.Op{Kind: "deposit", Key: "probe", Arg: 1}); err == nil {
+							probe = out
+							probed.Store(true)
+						}
+					}
+				}
+				if !sleepCtx(faultCtx, 5*time.Millisecond) {
+					return
+				}
+			}
+			tgt.Annotate("disk-full: space freed")
+		}()
+		rep, err := loadgen.Run(ctx, tgt, baseSpec(cfg))
+		stopFault()
+		wg.Wait()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// The degraded replica re-probes its store on its own; give it a
+		// deadline to rejoin before demanding convergence.
+		healed := loadgen.Check{Name: "self-healed", Detail: "replica never rejoined after space returned"}
+		for deadline := time.Now().Add(20 * time.Second); ; {
+			if !anyDegraded() {
+				healed = loadgen.Check{Name: "self-healed", OK: true,
+					Detail: "degraded replica rejoined without operator action"}
+				break
+			}
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// Every op absorbed between the disk filling and its commit
+		// failing was declined retryably to its submitter — but it may
+		// already have been gossiped to healthy peers, so after heal it is
+		// recorded everywhere without ever being acknowledged. Declined-
+		// but-recorded surplus, bounded by the retryable declines; loss is
+		// never tolerated.
+		degradations := ct.C.M.Degraded.Value()
+		checks := []loadgen.Check{
+			{Name: "degraded-entered", OK: sawDegraded.Load() && degradations >= 1,
+				Detail: fmt.Sprintf("%d degradation(s) recorded", degradations)},
+			{Name: "declines-retryable",
+				OK: probed.Load() && !probe.Accepted && probe.Retryable && probe.Reason == core.ReasonDegraded,
+				Detail: fmt.Sprintf("probe while degraded: accepted=%v retryable=%v reason=%q",
+					probe.Accepted, probe.Retryable, probe.Reason)},
+			healed,
+			converge(ctx, tgt, cfg.Duration),
+			checkNoLostOps(rep, tgt, 0, rep.RetryableDeclined),
+			checkApologiesAttributed(tgt),
+		}
+		return rep, checks, nil
+	},
+})
+
+// enospcFS fails every write under replica rep's store directory with
+// ENOSPC while full is set — one replica's disk filling up while its
+// peers stay healthy.
+func enospcFS(rep string, full *atomic.Bool) faultfs.FS {
+	marker := string(os.PathSeparator) + rep + string(os.PathSeparator)
+	return faultfs.New(faultfs.OS, 1, func(op faultfs.Op) faultfs.Decision {
+		if full.Load() && strings.Contains(op.Path, marker) {
+			switch op.Kind {
+			case faultfs.OpWrite, faultfs.OpWriteAt, faultfs.OpCreate, faultfs.OpSync:
+				return faultfs.Decision{Err: syscall.ENOSPC}
+			}
+		}
+		return faultfs.Decision{}
+	})
+}
+
+// FrameMangler: every peer link corrupts in-flight frames — drops,
+// duplicates, reorders, bit flips — for the whole traffic window, seeded
+// so a failure replays. The invariants are the wire-hardening contract:
+// corruption is detected (checksums reject, links degrade to
+// down-with-backoff) rather than folded into state, nothing panics, and
+// once the links are cleaned anti-entropy converges with no accepted op
+// missing.
+var FrameMangler = register(&Scenario{
+	Name:  "frame-mangler",
+	Desc:  "seeded frame corruption on every peer link under load, convergence after cleanup",
+	Stack: StackNet,
+	Keys:  256,
+	run: func(ctx context.Context, cfg Config, tgt loadgen.ChaosTarget) (*loadgen.Report, []loadgen.Check, error) {
+		nt, ok := tgt.(*loadgen.NetTarget)
+		if !ok {
+			return nil, nil, fmt.Errorf("frame-mangler needs the net stack (the daemons own the peer links)")
+		}
+		transports := make([]*netx.Transport, tgt.Entries())
+		for i := range transports {
+			d := nt.Daemon(i)
+			if d == nil {
+				return nil, nil, fmt.Errorf("frame-mangler needs target-owned daemons to reach their transports")
+			}
+			transports[i] = d.PeerTransport()
+		}
+		for i, tr := range transports {
+			tr.SetFaults(netx.Faults{
+				Seed:      cfg.Seed + int64(i),
+				Drop:      0.10,
+				Duplicate: 0.05,
+				Reorder:   0.05,
+				BitFlip:   0.15,
+			})
+		}
+		tgt.Annotate("frame-mangler: corrupting every peer link")
+		spec := baseSpec(cfg)
+		spec.SyncFrac = 0.15 // coordination rounds must cross the mangled links too
+		rep, runErr := loadgen.Run(ctx, tgt, spec)
+		// Clean the links before any verdict: convergence is owed after
+		// the corruption stops, not during it.
+		for _, tr := range transports {
+			tr.SetFaults(netx.Faults{})
+		}
+		tgt.Annotate("frame-mangler: links cleaned")
+		if runErr != nil {
+			return nil, nil, runErr
+		}
+		var mangled, corrupt, reconnects int64
+		for _, tr := range transports {
+			corrupt += tr.CorruptFrames()
+			for _, ps := range tr.PeerStats() {
+				mangled += ps.FramesMangled
+				reconnects += ps.Reconnects
+			}
+		}
+		checks := []loadgen.Check{
+			{Name: "corruption-observed", OK: mangled > 0 && corrupt > 0,
+				Detail: fmt.Sprintf("%d frames mangled, %d rejected by checksum, %d link reconnects",
+					mangled, corrupt, reconnects)},
+			converge(ctx, tgt, cfg.Duration),
+			checkNoLostOps(rep, tgt, 0, 0),
 			checkApologiesAttributed(tgt),
 		}
 		return rep, checks, nil

@@ -16,8 +16,9 @@ import (
 // Outcome is the business result of one offered operation — accepted or
 // declined with a reason. Transport failures are errors, not Outcomes.
 type Outcome struct {
-	Accepted bool
-	Reason   string
+	Accepted  bool
+	Reason    string
+	Retryable bool // transient decline (degraded shard), expected to heal
 }
 
 // Target abstracts "a running quicksand deployment" so one driver and
@@ -92,7 +93,7 @@ func (t *ClusterTarget) Submit(ctx context.Context, entry int, op Op) (Outcome, 
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{Accepted: res.Accepted, Reason: res.Reason}, nil
+	return Outcome{Accepted: res.Accepted, Reason: res.Reason, Retryable: res.Retryable}, nil
 }
 
 // SubmitBatch offers the batch in one engine call. The engine routes a
@@ -123,7 +124,7 @@ func (t *ClusterTarget) SubmitBatch(ctx context.Context, entry int, ops []Op) ([
 			return err
 		}
 		for k, i := range idxs {
-			outs[i] = Outcome{Accepted: results[k].Accepted, Reason: results[k].Reason}
+			outs[i] = Outcome{Accepted: results[k].Accepted, Reason: results[k].Reason, Retryable: results[k].Retryable}
 		}
 		return nil
 	}
@@ -265,6 +266,16 @@ func WrapClients(clients ...*client.Client) *NetTarget {
 	return &NetTarget{clients: clients}
 }
 
+// Daemon exposes the entry'th hosted daemon — the handle chaos scenarios
+// use to reach layers the public API deliberately hides, like the peer
+// transport's fault injector. Nil when the target wraps external daemons.
+func (t *NetTarget) Daemon(entry int) *daemon.Daemon {
+	if !t.owned {
+		return nil
+	}
+	return t.daemons[entry]
+}
+
 func (t *NetTarget) Entries() int { return len(t.clients) }
 
 func (t *NetTarget) Submit(ctx context.Context, entry int, op Op) (Outcome, error) {
@@ -272,7 +283,7 @@ func (t *NetTarget) Submit(ctx context.Context, entry int, op Op) (Outcome, erro
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{Accepted: res.Accepted, Reason: res.Reason}, nil
+	return Outcome{Accepted: res.Accepted, Reason: res.Reason, Retryable: res.Retryable}, nil
 }
 
 func (t *NetTarget) SubmitBatch(ctx context.Context, entry int, ops []Op) ([]Outcome, error) {
@@ -298,7 +309,7 @@ func (t *NetTarget) SubmitBatch(ctx context.Context, entry int, ops []Op) ([]Out
 			return err
 		}
 		for k, i := range idxs {
-			outs[i] = Outcome{Accepted: results[k].Accepted, Reason: results[k].Reason}
+			outs[i] = Outcome{Accepted: results[k].Accepted, Reason: results[k].Reason, Retryable: results[k].Retryable}
 		}
 		return nil
 	}

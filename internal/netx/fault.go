@@ -1,0 +1,120 @@
+package netx
+
+// Link-level fault injection: a seeded mangler sits between the peer
+// writer goroutine and the socket, so every frame this process sends can
+// be dropped, duplicated, reordered, delayed, or bit-flipped under a
+// deterministic schedule. The point is not to simulate one specific bad
+// network but to prove the paper's stance that the transport is *always*
+// lossy (§2): everything the engine survives under the mangler it must
+// already survive in production, because retries, timeouts, and the
+// frame checksum are the only delivery guarantees it ever had.
+//
+// Faults can be set at construction (Config.Faults) or flipped at
+// runtime (Transport.SetFaults), which is what the frame-mangler chaos
+// scenario uses to model a flaky switch being replaced mid-run.
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Faults configures the outbound frame mangler. All rates are
+// probabilities in [0, 1]; the zero value injects nothing. Faults apply
+// per *frame*, after the checksum is computed, so a bit flip is always
+// detectable at the receiver.
+type Faults struct {
+	// Seed makes the fault schedule deterministic: the same seed, peer
+	// set, and traffic produce the same drops and flips. Each peer link
+	// derives its own rng from Seed and the peer address.
+	Seed int64
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Duplicate is the probability a frame is written twice back to back.
+	Duplicate float64
+	// Reorder is the probability a frame is held back and sent after the
+	// next frame to the same peer (at most one frame held per link).
+	Reorder float64
+	// Delay is the probability a frame's write is stalled by a uniform
+	// random duration up to MaxDelay.
+	Delay float64
+	// MaxDelay bounds an injected stall (default 10ms when Delay > 0).
+	MaxDelay time.Duration
+	// BitFlip is the probability one random payload bit is inverted. The
+	// receiver's CRC32-C check catches the damage and closes the
+	// connection, degrading the link instead of decoding garbage.
+	BitFlip float64
+}
+
+// active reports whether any fault would ever fire.
+func (f Faults) active() bool {
+	return f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 || f.Delay > 0 || f.BitFlip > 0
+}
+
+// mangler is one peer link's fault state: a persistent seeded rng plus
+// the at-most-one held frame for reordering. It is owned exclusively by
+// the peer's writer goroutine — no locking.
+type mangler struct {
+	rng  *rand.Rand
+	held []byte
+}
+
+func newMangler(seed int64, addr string) *mangler {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return &mangler{rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
+}
+
+// apply decides one frame's fate under f, returning the frames to
+// actually write (possibly none, possibly several) and whether any fault
+// fired. A held (reordered) frame is released behind whatever the next
+// frame's fate produces, so it cannot be starved forever while traffic
+// flows.
+func (m *mangler) apply(f Faults, frame []byte) (out [][]byte, mangled bool) {
+	if f.BitFlip > 0 && m.rng.Float64() < f.BitFlip {
+		frame = m.flip(frame)
+		mangled = true
+	}
+	switch {
+	case f.Drop > 0 && m.rng.Float64() < f.Drop:
+		mangled = true // frame discarded
+	case f.Duplicate > 0 && m.rng.Float64() < f.Duplicate:
+		out = append(out, frame, frame)
+		mangled = true
+	case f.Reorder > 0 && m.held == nil && m.rng.Float64() < f.Reorder:
+		m.held = frame
+		return nil, true
+	default:
+		out = append(out, frame)
+	}
+	if m.held != nil {
+		out = append(out, m.held)
+		m.held = nil
+	}
+	return out, mangled
+}
+
+// delay returns the injected stall for one write, or 0.
+func (m *mangler) delay(f Faults) time.Duration {
+	if f.Delay <= 0 || m.rng.Float64() >= f.Delay {
+		return 0
+	}
+	max := f.MaxDelay
+	if max <= 0 {
+		max = 10 * time.Millisecond
+	}
+	return time.Duration(m.rng.Int63n(int64(max))) + 1
+}
+
+// flip inverts one random bit of the payload (never the length prefix:
+// the fault models data corruption the checksum must catch, not a
+// framing desync that would only stall the reader until the conn dies).
+func (m *mangler) flip(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	if len(out) <= frameHeader {
+		return out
+	}
+	bit := m.rng.Intn((len(out) - frameHeader) * 8)
+	out[frameHeader+bit/8] ^= 1 << (bit % 8)
+	return out
+}

@@ -1,16 +1,22 @@
 package netx
 
 // The frame layer: every message on a peer connection is one
-// length-prefixed frame. The payload starts with a kind byte; request
-// and response payloads embed a core wire message (the same oplog-backed
-// binary codec the disk journal uses), so the bytes a replica gossips
-// across a socket are the bytes it would have journaled.
+// length-prefixed, checksummed frame. The payload starts with a kind
+// byte; request and response payloads embed a core wire message (the
+// same oplog-backed binary codec the disk journal uses), so the bytes a
+// replica gossips across a socket are the bytes it would have journaled.
 //
-//	[uint32 big-endian payload length][payload]
+//	[uint32 big-endian payload length][uint32 big-endian CRC32-C of payload][payload]
 //
 //	hello: kind=2, string token          — first frame of every conn, both directions
 //	req:   kind=0, uvarint seq, string from, string to, string method, message
 //	resp:  kind=1, uvarint seq, message
+//
+// The checksum exists because TCP's own checksum is weak and because
+// this layer is where we inject bit flips on purpose: a damaged frame
+// must be *detected* — surfacing as errCorruptFrame, which closes the
+// connection and lets the dial/backoff machinery degrade the link —
+// rather than decoded into garbage that poisons a replica's state.
 //
 // A reply is matched to its call by seq; seqs are per-transport, so
 // responses may return on any connection that reaches the caller (in
@@ -19,7 +25,9 @@ package netx
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -38,21 +46,38 @@ const (
 	// largest traffic; 64 MiB is orders of magnitude above any batch the
 	// engine ships.
 	maxFrame = 64 << 20
+
+	// frameHeader is the fixed prefix of every frame: payload length plus
+	// the payload's CRC32-C.
+	frameHeader = 8
 )
 
-// readFrame reads one length-prefixed payload.
+// errCorruptFrame marks a frame that arrived damaged — bad length or
+// failed checksum. The receiver closes the connection: with an
+// unreliable codec boundary the only safe resync point is a fresh
+// connection, and the peer's dial backoff turns sustained corruption
+// into a down link rather than a poisoned replica.
+var errCorruptFrame = errors.New("netx: corrupt frame")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// readFrame reads one length-prefixed payload and verifies its checksum.
 func readFrame(br *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n == 0 || n > maxFrame {
-		return nil, fmt.Errorf("netx: frame length %d out of range", n)
+		return nil, fmt.Errorf("%w: length %d out of range", errCorruptFrame, n)
 	}
+	want := binary.BigEndian.Uint32(hdr[4:])
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return nil, err
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", errCorruptFrame, got, want)
 	}
 	return payload, nil
 }
@@ -76,12 +101,13 @@ func (w *connWriter) write(frame []byte) error {
 	return err
 }
 
-// frame prefixes payload with its length, producing one contiguous
-// buffer so the whole frame goes out in a single Write.
+// frame prefixes payload with its length and checksum, producing one
+// contiguous buffer so the whole frame goes out in a single Write.
 func frame(payload []byte) []byte {
-	out := make([]byte, 4+len(payload))
+	out := make([]byte, frameHeader+len(payload))
 	binary.BigEndian.PutUint32(out, uint32(len(payload)))
-	copy(out[4:], payload)
+	binary.BigEndian.PutUint32(out[4:], crc32.Checksum(payload, crcTable))
+	copy(out[frameHeader:], payload)
 	return out
 }
 

@@ -27,6 +27,7 @@ package netx
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -65,6 +66,10 @@ type Config struct {
 	// Logf, when set, receives connection lifecycle events (dials,
 	// drops, auth failures). Nil means silent.
 	Logf func(format string, args ...any)
+	// Faults configures deterministic outbound link faults (see the
+	// Faults type); the zero value injects nothing. Rates can be changed
+	// later with SetFaults.
+	Faults Faults
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -111,6 +116,9 @@ type Transport struct {
 	callMu sync.Mutex
 	calls  map[uint64]func(resp any, ok bool)
 
+	faults        atomic.Pointer[Faults] // current outbound fault schedule
+	corruptFrames atomic.Int64           // inbound frames rejected by the checksum
+
 	closed chan struct{}
 	wg     sync.WaitGroup
 }
@@ -130,6 +138,8 @@ func New(cfg Config) (*Transport, error) {
 		calls:      make(map[uint64]func(any, bool)),
 		closed:     make(chan struct{}),
 	}
+	f := t.cfg.Faults
+	t.faults.Store(&f)
 	for id, addr := range t.cfg.Peers {
 		p, ok := t.peers[addr]
 		if !ok {
@@ -173,6 +183,29 @@ func (t *Transport) AddPeer(id, addr string) {
 	t.peerOf[id] = p
 }
 
+// SetFaults replaces the outbound fault schedule at runtime (the chaos
+// scenarios use this to start and stop a mangling episode). The zero
+// value turns injection off. Each link's rng persists across calls, so
+// re-enabling the same rates continues the same deterministic schedule.
+func (t *Transport) SetFaults(f Faults) {
+	t.faults.Store(&f)
+}
+
+// CorruptFrames reports how many inbound frames this transport has
+// rejected for a failed length or checksum check. Each one also cost a
+// connection: corruption closes the link and lets backoff own recovery.
+func (t *Transport) CorruptFrames() int64 { return t.corruptFrames.Load() }
+
+// noteReadErr classifies one connection's fatal read error, counting
+// checksum rejections so operators can see corruption as a number
+// rather than a mystery of flapping links.
+func (t *Transport) noteReadErr(conn net.Conn, err error) {
+	if errors.Is(err, errCorruptFrame) {
+		t.corruptFrames.Add(1)
+		t.cfg.logf("netx: %s: closing link on corrupt frame: %v", conn.RemoteAddr(), err)
+	}
+}
+
 // PeerStat is one outbound link's health snapshot: liveness plus the
 // frame/byte counters and the propagation timestamp of the last
 // successful write.
@@ -182,6 +215,7 @@ type PeerStat struct {
 	FramesSent    int64
 	BytesSent     int64
 	FramesDropped int64
+	FramesMangled int64 // frames the fault injector touched (dropped, duplicated, held, or flipped)
 	Reconnects    int64
 	LastSendNs    int64 // UnixNano of the last successful write; 0 before any
 }
@@ -198,6 +232,7 @@ func (t *Transport) PeerStats() []PeerStat {
 			FramesSent:    p.framesSent.Load(),
 			BytesSent:     p.bytesSent.Load(),
 			FramesDropped: p.framesDropped.Load(),
+			FramesMangled: p.framesMangled.Load(),
 			Reconnects:    p.reconnects.Load(),
 			LastSendNs:    p.lastSendNs.Load(),
 		})
@@ -535,6 +570,7 @@ func (t *Transport) serveConn(conn net.Conn) {
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
+			t.noteReadErr(conn, err)
 			return
 		}
 		t.handleFrame(payload, w)
@@ -608,22 +644,29 @@ func (t *Transport) handleFrame(payload []byte, w *connWriter) {
 // is down. Responses to this process's calls return on the same
 // connection, consumed by a reader goroutine per established conn.
 type peer struct {
-	t     *Transport
-	addr  string
-	sendq chan []byte
-	down  atomic.Bool // last dial or write failed; cleared on reconnect
+	t      *Transport
+	addr   string
+	sendq  chan []byte
+	down   atomic.Bool // last dial or write failed; cleared on reconnect
+	mangle *mangler    // seeded fault state, owned by the writer goroutine
 
 	// Link-health telemetry, exported per peer on the daemon's /metrics.
 	framesSent    atomic.Int64
 	bytesSent     atomic.Int64
 	framesDropped atomic.Int64 // queue full, link down, or transport closed
+	framesMangled atomic.Int64 // frames the fault injector dropped, duplicated, held, or flipped
 	reconnects    atomic.Int64 // successful dials after the first
 	dialed        atomic.Bool  // a dial has succeeded at least once
 	lastSendNs    atomic.Int64 // wall clock (UnixNano) of the last successful write
 }
 
 func newPeer(t *Transport, addr string) *peer {
-	return &peer{t: t, addr: addr, sendq: make(chan []byte, t.cfg.SendQueue)}
+	return &peer{
+		t:      t,
+		addr:   addr,
+		sendq:  make(chan []byte, t.cfg.SendQueue),
+		mangle: newMangler(t.cfg.Faults.Seed, addr),
+	}
 }
 
 // send enqueues one frame, dropping it when the queue is full or the
@@ -704,18 +747,35 @@ func (p *peer) run() {
 			case frame = <-p.sendq:
 			}
 		}
-		if p.t.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+		frames := [][]byte{frame}
+		if f := *p.t.faults.Load(); f.active() {
+			var mangled bool
+			frames, mangled = p.mangle.apply(f, frame)
+			if mangled {
+				p.framesMangled.Add(1)
+			}
+			if d := p.mangle.delay(f); d > 0 {
+				select {
+				case <-p.t.closed:
+					return
+				case <-time.After(d):
+				}
+			}
 		}
-		if _, err := conn.Write(frame); err != nil {
-			p.t.cfg.logf("netx: write to %s failed: %v", p.addr, err)
-			conn.Close()
-			conn = nil
-			p.down.Store(true)
-			p.framesDropped.Add(1)
-		} else {
+		for _, fr := range frames {
+			if p.t.cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+			}
+			if _, err := conn.Write(fr); err != nil {
+				p.t.cfg.logf("netx: write to %s failed: %v", p.addr, err)
+				conn.Close()
+				conn = nil
+				p.down.Store(true)
+				p.framesDropped.Add(1)
+				break
+			}
 			p.framesSent.Add(1)
-			p.bytesSent.Add(int64(len(frame)))
+			p.bytesSent.Add(int64(len(fr)))
 			p.lastSendNs.Store(time.Now().UnixNano())
 		}
 	}
@@ -754,6 +814,7 @@ func (p *peer) readLoop(conn net.Conn) {
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
+			p.t.noteReadErr(conn, err)
 			return
 		}
 		p.t.handleFrame(payload, w)

@@ -5,17 +5,23 @@ package store
 import (
 	"os"
 	"syscall"
+
+	"repro/internal/faultfs"
 )
 
 // preallocate reserves size bytes of backing storage for f so later
-// appends never pay an allocate-and-extend fsync at flush time. On
-// filesystems without fallocate support it falls back to a plain
-// truncate-extend, which at least fixes the logical size.
-func preallocate(f *os.File, size int64) {
+// appends never pay an allocate-and-extend fsync at flush time. The
+// fallocate fast path needs a real file descriptor; behind a fault
+// injector (or on filesystems without fallocate support) it falls back
+// to a plain truncate-extend, which at least fixes the logical size.
+func preallocate(f faultfs.File, size int64) {
 	if size <= 0 {
 		return
 	}
-	if err := syscall.Fallocate(int(f.Fd()), 0, 0, size); err != nil {
-		_ = f.Truncate(size)
+	if of, ok := f.(*os.File); ok {
+		if syscall.Fallocate(int(of.Fd()), 0, 0, size) == nil {
+			return
+		}
 	}
+	_ = f.Truncate(size)
 }

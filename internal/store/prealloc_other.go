@@ -2,12 +2,12 @@
 
 package store
 
-import "os"
+import "repro/internal/faultfs"
 
 // preallocate reserves size bytes for f. Without fallocate, a
 // truncate-extend fixes the logical size; most filesystems still
 // materialize blocks lazily, so this is best-effort on non-Linux.
-func preallocate(f *os.File, size int64) {
+func preallocate(f faultfs.File, size int64) {
 	if size <= 0 {
 		return
 	}

@@ -76,6 +76,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/oplog"
 	"repro/internal/stats"
 )
@@ -215,6 +216,11 @@ type Options struct {
 	// delta falls back to the chain prefix losslessly. 0 or 1 disables
 	// deltas (every cut is full, the pre-chain behavior).
 	SnapshotChain int
+	// FS is the filesystem seam every disk operation goes through
+	// (default faultfs.OS, the passthrough). Fault-injection tests hand
+	// in a faultfs.Injector to script EIO/ENOSPC/short writes/lying
+	// fsyncs and to enumerate crash points deterministically.
+	FS faultfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -235,6 +241,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AdaptiveDeadline.KneeBytes <= 0 {
 		o.AdaptiveDeadline.KneeBytes = 8 << 10
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS
 	}
 	return o
 }
@@ -303,6 +312,7 @@ type segment struct {
 type Store struct {
 	dir string
 	opt Options
+	fs  faultfs.FS // == opt.FS; every disk call routes through it
 
 	mu           sync.Mutex
 	pending      []chunk
@@ -333,7 +343,7 @@ type Store struct {
 	// flusher goroutine, or the calling goroutine under flushMu when
 	// Inline. Never touched with mu held — fsync must not block staging.
 	flushMu  sync.Mutex
-	seg      *os.File
+	seg      faultfs.File
 	segBytes int64  // data bytes in the active segment (file size may exceed this when preallocated)
 	segSeed  uint32 // CRC seed of the active segment
 	scratch  []byte
@@ -372,12 +382,13 @@ type Store struct {
 // fails with ErrCorrupt.
 func Open(dir string, opt Options) (*Store, Recovery, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, Recovery{}, err
 	}
 	s := &Store{
 		dir:      dir,
 		opt:      opt,
+		fs:       opt.FS,
 		kick:     make(chan struct{}, 1),
 		full:     make(chan struct{}, 1),
 		quit:     make(chan struct{}),
@@ -428,6 +439,17 @@ func (s *Store) End() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.end
+}
+
+// FailErr reports the sticky I/O error that poisoned this store, or nil
+// while it is healthy. Once set, every later Commit fails with ok=false;
+// callers use the error itself to classify the failure — a full or
+// transiently failing disk (ENOSPC, EIO) may heal and be reopened, while
+// corruption must stay fatal.
+func (s *Store) FailErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }
 
 // SnapshotPos reports the journal position covered by the newest durable
@@ -988,7 +1010,7 @@ func (s *Store) openSegLocked() error {
 	}
 	active := s.segs[len(s.segs)-1]
 	s.mu.Unlock()
-	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(active.path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -1015,7 +1037,7 @@ func (s *Store) openSegLocked() error {
 			return err
 		}
 		size = int64(segHdrV2)
-		if err := syncDir(s.dir); err != nil {
+		if err := s.syncDir(); err != nil {
 			f.Close()
 			return err
 		}
@@ -1034,7 +1056,7 @@ func (s *Store) openSegLocked() error {
 }
 
 // magicAt reports whether f begins with magic.
-func magicAt(f *os.File, magic string) bool {
+func magicAt(f faultfs.File, magic string) bool {
 	buf := make([]byte, len(magic))
 	_, err := f.ReadAt(buf, 0)
 	return err == nil && string(buf) == magic
@@ -1042,7 +1064,7 @@ func magicAt(f *os.File, magic string) bool {
 
 // writeSegHeader stamps a v2 header — magic plus the segment's absolute
 // start position, the CRC salt — at the front of f.
-func writeSegHeader(f *os.File, start int) error {
+func writeSegHeader(f faultfs.File, start int) error {
 	var hdr [segHdrV2]byte
 	copy(hdr[:], segMagicV2)
 	binary.LittleEndian.PutUint64(hdr[len(segMagicV2):], uint64(start))
@@ -1091,19 +1113,19 @@ func (s *Store) newSegLocked(path string, start int) error {
 		free, s.freeSegs = s.freeSegs[n-1], s.freeSegs[:n-1]
 	}
 	s.mu.Unlock()
-	var f *os.File
+	var f faultfs.File
 	if free != "" {
-		if err := os.Rename(free, path); err != nil {
-			os.Remove(free)
-		} else if g, err := os.OpenFile(path, os.O_RDWR, 0o644); err != nil {
-			os.Remove(path)
+		if err := s.fs.Rename(free, path); err != nil {
+			s.fs.Remove(free)
+		} else if g, err := s.fs.OpenFile(path, os.O_RDWR, 0o644); err != nil {
+			s.fs.Remove(path)
 		} else {
 			f = g
 			s.recycled.Add(1)
 		}
 	}
 	if f == nil {
-		g, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+		g, err := s.fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 		if err != nil {
 			return err
 		}
@@ -1116,7 +1138,7 @@ func (s *Store) newSegLocked(path string, start int) error {
 	if s.opt.Preallocate {
 		preallocate(f, int64(s.opt.SegmentBytes)) // best-effort
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.syncDir(); err != nil {
 		f.Close()
 		return err
 	}
@@ -1167,7 +1189,7 @@ func (s *Store) compact() {
 		s.retireSeg(path)
 	}
 	if len(doomed) > 0 {
-		syncDir(s.dir)
+		s.syncDir()
 	}
 }
 
@@ -1183,14 +1205,14 @@ func (s *Store) retireSeg(path string) {
 			s.freeSeq++
 		}
 		s.mu.Unlock()
-		if free != "" && os.Rename(path, free) == nil {
+		if free != "" && s.fs.Rename(path, free) == nil {
 			s.mu.Lock()
 			s.freeSegs = append(s.freeSegs, free)
 			s.mu.Unlock()
 			return
 		}
 	}
-	os.Remove(path)
+	s.fs.Remove(path)
 }
 
 // writeSnapshot does the actual temp-write + fsync + rename of a FULL
@@ -1229,17 +1251,17 @@ func (s *Store) writeSnapshot(entries []oplog.Entry, pos int, mark oplog.Waterma
 
 	final := s.snapPath(pos)
 	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, buf); err != nil {
-		os.Remove(tmp)
+	if err := s.writeFileSync(tmp, buf); err != nil {
+		s.fs.Remove(tmp)
 		s.snapFails.Add(1)
 		return
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.fs.Remove(tmp)
 		s.snapFails.Add(1)
 		return
 	}
-	syncDir(s.dir)
+	s.syncDir()
 	s.snapshots.Add(1)
 	cut := time.Since(began)
 	s.snapLat.AddDur(cut)
@@ -1331,17 +1353,17 @@ func (s *Store) writeDelta(pos int, mark oplog.Watermark) {
 
 	final := s.deltaPath(pos)
 	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, buf); err != nil {
-		os.Remove(tmp)
+	if err := s.writeFileSync(tmp, buf); err != nil {
+		s.fs.Remove(tmp)
 		s.snapFails.Add(1)
 		return
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.fs.Remove(tmp)
 		s.snapFails.Add(1)
 		return
 	}
-	syncDir(s.dir)
+	s.syncDir()
 	s.snapshots.Add(1)
 	s.deltaSnaps.Add(1)
 	cut := time.Since(began)
@@ -1359,8 +1381,8 @@ func (s *Store) writeDelta(pos int, mark oplog.Watermark) {
 	s.compact()
 }
 
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+func (s *Store) writeFileSync(path string, data []byte) error {
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -1381,7 +1403,7 @@ func writeFileSync(path string, data []byte) error {
 // above it chain to a retained full and stay: they are the fallback
 // prefixes recovery may need.
 func (s *Store) pruneSnapshots() {
-	fulls, err := filepath.Glob(filepath.Join(s.dir, "snap-*.snap"))
+	fulls, err := s.fs.Glob(filepath.Join(s.dir, "snap-*.snap"))
 	if err != nil || len(fulls) <= s.opt.KeepSnapshots {
 		return
 	}
@@ -1391,12 +1413,12 @@ func (s *Store) pruneSnapshots() {
 		return
 	}
 	for _, path := range fulls[:len(fulls)-s.opt.KeepSnapshots] {
-		os.Remove(path)
+		s.fs.Remove(path)
 	}
-	deltas, _ := filepath.Glob(filepath.Join(s.dir, "delta-*.snap"))
+	deltas, _ := s.fs.Glob(filepath.Join(s.dir, "delta-*.snap"))
 	for _, path := range deltas {
 		if pos, err := snapFilePos(path); err == nil && pos < cutoff {
-			os.Remove(path)
+			s.fs.Remove(path)
 		}
 	}
 }
@@ -1411,10 +1433,10 @@ func snapFilePos(path string) (int, error) {
 	return strconv.Atoi(name)
 }
 
-// syncDir fsyncs a directory so renames and removals inside it are
-// durable before we depend on them.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// syncDir fsyncs the store directory so renames and removals inside it
+// are durable before we depend on them.
+func (s *Store) syncDir() error {
+	d, err := s.fs.Open(s.dir)
 	if err != nil {
 		return err
 	}
@@ -1425,7 +1447,7 @@ func syncDir(dir string) error {
 // ---- Open-time replay ----------------------------------------------------
 
 func (s *Store) replay() (Recovery, error) {
-	names, err := os.ReadDir(s.dir)
+	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return Recovery{}, err
 	}
@@ -1435,7 +1457,7 @@ func (s *Store) replay() (Recovery, error) {
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
 			// An abandoned atomic write: never renamed, never valid.
-			os.Remove(filepath.Join(s.dir, name))
+			s.fs.Remove(filepath.Join(s.dir, name))
 		case strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".seg"):
 			segPaths = append(segPaths, name)
 		case strings.HasPrefix(name, "free-") && strings.HasSuffix(name, ".seg"):
@@ -1443,7 +1465,7 @@ func (s *Store) replay() (Recovery, error) {
 			// sweep it when recycling is off.
 			path := filepath.Join(s.dir, name)
 			if !s.opt.Preallocate {
-				os.Remove(path)
+				s.fs.Remove(path)
 				break
 			}
 			s.freeSegs = append(s.freeSegs, path)
@@ -1548,7 +1570,7 @@ func (s *Store) resolveSnapChain(rec *Recovery, snapPaths, deltaPaths []string) 
 	load := func(c *snapFile) bool {
 		if !c.loaded {
 			c.loaded = true
-			entries, pos, parent, mark, full, err := loadSnapshotFile(filepath.Join(s.dir, c.name))
+			entries, pos, parent, mark, full, err := loadSnapshotFile(s.fs, filepath.Join(s.dir, c.name))
 			if err != nil || pos != c.pos || full != c.full {
 				c.bad = true
 			} else {
@@ -1607,7 +1629,7 @@ func (s *Store) resolveSnapChain(rec *Recovery, snapPaths, deltaPaths []string) 
 // past the real end of a crashed final segment: zero fill and old-life
 // records alike fail their (new-seed) CRCs and truncate away.
 func (s *Store) scanSegment(path string, start int, final bool) (entries []oplog.Entry, torn int64, err error) {
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -1621,7 +1643,7 @@ func (s *Store) scanSegment(path string, start int, final bool) (entries []oplog
 	default:
 		if final {
 			// A crash before the header finished; openSegLocked rewrites it.
-			return nil, int64(len(data)), truncateTo(path, 0)
+			return nil, int64(len(data)), s.truncateTo(path, 0)
 		}
 		return nil, 0, fmt.Errorf("store: %s: %w", filepath.Base(path), ErrCorrupt)
 	}
@@ -1639,7 +1661,7 @@ func (s *Store) scanSegment(path string, start int, final bool) (entries []oplog
 				return nil, 0, fmt.Errorf("store: %s: record at offset %d: %w", filepath.Base(path), off, ErrCorrupt)
 			}
 			torn = int64(len(data) - off)
-			return entries, torn, truncateTo(path, int64(off))
+			return entries, torn, s.truncateTo(path, int64(off))
 		}
 		entries = append(entries, e)
 		off += size
@@ -1682,11 +1704,11 @@ func trailingRecords(b []byte, seed uint32) bool {
 	return ok
 }
 
-func truncateTo(path string, size int64) error {
-	if err := os.Truncate(path, size); err != nil {
+func (s *Store) truncateTo(path string, size int64) error {
+	if err := s.fs.Truncate(path, size); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	f, err := s.fs.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -1698,8 +1720,8 @@ func truncateTo(path string, size int64) error {
 // end; any shortfall (magic, a record CRC, the footer) invalidates the
 // whole file. Deltas carry one extra header field: the parent position
 // their chain link hangs from.
-func loadSnapshotFile(path string) (entries []oplog.Entry, pos, parent int, mark oplog.Watermark, full bool, err error) {
-	data, err := os.ReadFile(path)
+func loadSnapshotFile(fsys faultfs.FS, path string) (entries []oplog.Entry, pos, parent int, mark oplog.Watermark, full bool, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, 0, oplog.Watermark{}, false, err
 	}
